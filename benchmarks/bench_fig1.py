@@ -1,0 +1,85 @@
+"""Figure 1a/1b — the motivation figures.
+
+1a: exponential database growth (GenBank-style doubling).
+1b: candidates per spectrum as source complexity grows (protein family
+-> single genome -> environmental microbial community), measured with
+the production candidate generator, with and without PTMs.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, write_output
+from repro.chem.amino_acids import STANDARD_MODIFICATIONS
+from repro.utils.format import format_si, render_table
+from repro.workloads.candidate_counts import candidate_count_by_source
+from repro.workloads.growth import doubling_time_years, genbank_growth_series
+
+
+def test_fig1a_database_growth(benchmark):
+    points = benchmark(genbank_growth_series, 1988, 2008)
+    rows = [
+        [str(pt.year), format_si(pt.base_pairs), format_si(pt.sequences)]
+        for pt in points
+        if pt.year % 2 == 0
+    ]
+    table = render_table(
+        ["Year", "Base pairs", "Sequences"],
+        rows,
+        title="Figure 1a: GenBank-style nucleotide database growth",
+    )
+    dt = doubling_time_years(points)
+    table += f"\n\nempirical doubling time: {dt:.2f} years (GenBank's long-run ~1.5)"
+    write_output("fig1a.txt", table)
+
+    assert dt == pytest.approx(1.5, rel=0.05)
+    assert points[-1].base_pairs / points[0].base_pairs > 1e4
+
+
+def test_fig1b_candidate_counts_by_source(benchmark, queries):
+    scale = bench_scale()
+    class_sizes = {
+        "protein_family": max(10, int(50 * scale)),
+        "single_genome": max(100, int(4_000 * scale)),
+        "microbial_community": max(1_000, int(40_000 * scale)),
+    }
+    subset = queries[:100]
+    rows_plain = benchmark.pedantic(
+        candidate_count_by_source,
+        args=(subset,),
+        kwargs={"class_sizes": class_sizes},
+        rounds=1,
+        iterations=1,
+    )
+    mods = (
+        STANDARD_MODIFICATIONS["oxidation"],
+        STANDARD_MODIFICATIONS["phosphorylation_s"],
+    )
+    rows_ptm = candidate_count_by_source(
+        subset, modifications=mods, class_sizes=class_sizes
+    )
+
+    rows = []
+    for plain, ptm in zip(rows_plain, rows_ptm):
+        rows.append(
+            [
+                plain.source,
+                format_si(plain.num_proteins),
+                f"{plain.mean_candidates:.0f}",
+                f"{ptm.mean_candidates:.0f}",
+                f"{plain.max_candidates}",
+            ]
+        )
+    table = render_table(
+        ["Source", "#Proteins", "Mean candidates/spectrum", "w/ 2 PTMs", "Max"],
+        rows,
+        title="Figure 1b: candidates per experimental spectrum by source class",
+    )
+    write_output("fig1b.txt", table)
+
+    means = [r.mean_candidates for r in rows_plain]
+    # the figure's message: candidates grow rapidly with source unknowns
+    assert means[0] < means[1] < means[2]
+    assert means[2] / max(means[0], 1.0) > 50
+    # and PTMs exacerbate it
+    for plain, ptm in zip(rows_plain, rows_ptm):
+        assert ptm.mean_candidates >= plain.mean_candidates

@@ -1,0 +1,151 @@
+"""Microbenchmarks of the real execution kernels.
+
+These are conventional pytest-benchmark measurements of the hot paths
+that every simulated second is built on: candidate-window queries,
+scoring models, the top-tau heap, counting-sort pivots, spectrum
+binning, and index construction.  They give per-operation costs on this
+host (the input to :mod:`repro.analysis.calibration`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.candidates.generator import CandidateGenerator
+from repro.candidates.mass_index import MassIndex
+from repro.chem.amino_acids import encode_sequence
+from repro.core.sort import counting_sort_pivots
+from repro.scoring.hits import Hit, TopHitList
+from repro.scoring.hyperscore import HyperScorer
+from repro.scoring.likelihood import LikelihoodRatioScorer
+from repro.scoring.shared_peaks import SharedPeakScorer
+from repro.scoring.xcorr import XCorrScorer
+from repro.spectra.binning import bin_spectrum, match_peaks
+from repro.spectra.experimental import SpectrumSimulator
+from repro.spectra.theoretical import by_ion_ladder, theoretical_spectrum
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+PEPTIDE = encode_sequence("MKTAYIAKQRQISFVKSHFSR")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(2_000, seed=202)
+
+
+@pytest.fixture(scope="module")
+def index(db):
+    return MassIndex(db)
+
+
+@pytest.fixture(scope="module")
+def spectrum():
+    return SpectrumSimulator(seed=3).simulate(PEPTIDE, query_id=0)
+
+
+class TestIndexKernels:
+    def test_mass_index_build(self, benchmark, db):
+        benchmark(MassIndex, db)
+
+    def test_window_count(self, benchmark, index):
+        benchmark(index.count_in_window, 1200.0, 1206.0)
+
+    def test_window_enumeration(self, benchmark, index):
+        benchmark(index.candidates_in_window, 1200.0, 1206.0)
+
+    def test_vectorized_counts_1210_queries(self, benchmark, db):
+        gen = CandidateGenerator(db, delta=3.0)
+        masses = np.linspace(800.0, 2800.0, 1210)
+        benchmark(gen.count_unmodified_many, masses)
+
+
+class TestScoringKernels:
+    @pytest.mark.parametrize(
+        "scorer",
+        [SharedPeakScorer(), HyperScorer(), XCorrScorer(), LikelihoodRatioScorer()],
+        ids=lambda s: s.name,
+    )
+    def test_score_one_candidate(self, benchmark, scorer, spectrum):
+        benchmark(scorer.score, spectrum, PEPTIDE)
+
+    def test_theoretical_spectrum(self, benchmark):
+        benchmark(theoretical_spectrum, PEPTIDE)
+
+    def test_by_ion_ladder(self, benchmark):
+        benchmark(by_ion_ladder, PEPTIDE)
+
+    def test_peak_matching(self, benchmark, spectrum):
+        ladder = by_ion_ladder(PEPTIDE)
+        benchmark(match_peaks, np.ascontiguousarray(spectrum.mz), ladder, 0.5)
+
+    def test_binning(self, benchmark, spectrum):
+        benchmark(bin_spectrum, spectrum.mz, spectrum.intensity, 1.0005, 3000.0)
+
+
+class TestBookkeepingKernels:
+    def test_tophitlist_add_stream(self, benchmark):
+        hits = [
+            Hit(0, float(i % 97), i % 50, 0, 10, 1000.0) for i in range(2_000)
+        ]
+
+        def run():
+            hl = TopHitList(50)
+            for h in hits:
+                hl.add(h)
+            return hl
+
+        benchmark(run)
+
+    def test_counting_sort_pivots_full_keyspace(self, benchmark):
+        weights = np.random.default_rng(0).random(300_001)
+        benchmark(counting_sort_pivots, weights, 128)
+
+
+class TestWorkloadKernels:
+    def test_database_generation_1k(self, benchmark):
+        benchmark(generate_database, 1_000, 99)
+
+    def test_query_generation_50(self, benchmark):
+        benchmark(generate_queries, 50, 99)
+
+
+class TestStatisticsKernels:
+    def test_preprocess_pipeline(self, benchmark, spectrum):
+        from repro.spectra.preprocess import DEFAULT_PIPELINE, preprocess
+
+        benchmark(preprocess, spectrum, DEFAULT_PIPELINE)
+
+    def test_fdr_curve_1000_hits(self, benchmark):
+        import numpy as np
+
+        from repro.scoring.statistics import fdr_curve
+
+        rng = np.random.default_rng(0)
+        labels = [
+            (i, float(s), bool(rng.random() < 0.4))
+            for i, s in enumerate(rng.normal(0, 10, 1000))
+        ]
+        benchmark(fdr_curve, labels)
+
+    def test_survival_fit(self, benchmark):
+        import numpy as np
+
+        from repro.scoring.evalue import fit_survival
+
+        scores = np.random.default_rng(1).exponential(2.0, 2000)
+        benchmark(fit_survival, scores)
+
+    def test_isotope_expansion(self, benchmark):
+        import numpy as np
+
+        from repro.spectra.isotopes import expand_with_isotopes
+
+        mz = np.linspace(200.0, 2000.0, 40)
+        intensity = np.ones(40)
+        benchmark(expand_with_isotopes, mz, intensity)
+
+    def test_tryptic_digest_database(self, benchmark, db):
+        from repro.chem.digest import digest_database
+
+        small = db.slice_range(0, 200)
+        benchmark(digest_database, small)

@@ -1,0 +1,74 @@
+"""Masking ablation — Section III's communication-masking measurement.
+
+The paper reports that disabling communication-computation masking
+inflates run-time ("the masking technique reduces the total run-time by
+a factor of 72.75% +/- 0.02%").  We regenerate the ablation across
+processor counts and network speeds and report the measured reduction.
+
+EXPERIMENTS.md discusses the honest divergence: on a physically
+parameterized gigabit network whose transfer volumes match the paper's
+own Table II workloads, communication is far too small a fraction of
+total time for masking to save 72% — we reproduce the *direction* and
+report the factor as a function of network speed, including the slow
+network regime where the paper's factor becomes reachable.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled_sizes, write_output
+from repro.core.algorithm_a import run_algorithm_a
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.scheduler import ClusterConfig
+from repro.utils.format import render_table
+
+#: byte costs spanning gigabit ethernet to a badly-degraded software path
+NETWORKS = {
+    "gigabit (paper testbed)": NetworkModel(),
+    "10x slower": NetworkModel(byte_cost=NetworkModel().byte_cost * 10),
+    "100x slower": NetworkModel(byte_cost=NetworkModel().byte_cost * 100),
+}
+
+
+def test_masking_ablation(benchmark, queries, modeled_config, database_cache):
+    n = scaled_sizes()[2]
+    db = database_cache(n)
+    rows = []
+    gains = {}
+    for name, net in NETWORKS.items():
+        for p in (8, 32):
+            cc = lambda: ClusterConfig(num_ranks=p, network=net)  # noqa: E731
+            masked = run_algorithm_a(db, queries, p, modeled_config, mask=True, cluster_config=cc())
+            unmasked = run_algorithm_a(db, queries, p, modeled_config, mask=False, cluster_config=cc())
+            reduction = 1.0 - masked.virtual_time / unmasked.virtual_time
+            gains[(name, p)] = reduction
+            rows.append(
+                [
+                    name,
+                    str(p),
+                    f"{masked.virtual_time:.2f}",
+                    f"{unmasked.virtual_time:.2f}",
+                    f"{100 * reduction:.1f}%",
+                    f"{masked.extras['masking_effectiveness']:.2f}",
+                ]
+            )
+    benchmark.pedantic(
+        run_algorithm_a,
+        args=(db, queries, 8, modeled_config),
+        kwargs={"mask": False},
+        rounds=2,
+        iterations=1,
+    )
+
+    table = render_table(
+        ["Network", "p", "Masked (s)", "Unmasked (s)", "Run-time reduction", "Mask effectiveness"],
+        rows,
+        title=f"Masking ablation, {n}-sequence database (paper claim: 72.75% reduction)",
+    )
+    write_output("masking.txt", table)
+
+    # direction: masking never hurts, and its value grows as the network slows
+    for key, gain in gains.items():
+        assert gain >= -0.01, key
+    assert gains[("100x slower", 8)] > gains[("gigabit (paper testbed)", 8)]
+    # on a sufficiently degraded network the saving becomes substantial
+    assert gains[("100x slower", 8)] > 0.15

@@ -1,0 +1,82 @@
+"""Memory-scaling experiment — the paper's space claims (M3 in DESIGN.md).
+
+* Replicated baseline: max database size is flat in p and hits a wall
+  ("1 GB RAM per processor ... the maximum database size ... was 1.27
+  million protein sequences, beyond which the code ... crashes").
+* Algorithm A: max database size grows ~linearly, "~420K sequences for
+  every new processor added".
+
+The bench runs at a scaled-down RAM cap (so the binary search stays
+fast) and reports sequences-per-added-rank both at bench scale and
+extrapolated to the paper's 1 GB.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_output
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.costmodel import CostModel
+from repro.core.driver import run_search
+from repro.errors import OutOfMemoryError
+from repro.simmpi.scheduler import ClusterConfig
+from repro.utils.format import format_si, render_table
+from repro.workloads.synthetic import generate_database
+
+CAP = 400_000  # bench-scale rank RAM
+MODELED = SearchConfig(execution=ExecutionMode.MODELED, tau=10)
+
+
+def max_fitting_sequences(algorithm: str, p: int, queries) -> int:
+    lo, hi = 10, 8_000
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        db = generate_database(mid, seed=77)
+        try:
+            run_search(
+                db, queries, algorithm, p, MODELED,
+                cluster_config=ClusterConfig(num_ranks=p, ram_per_rank=CAP),
+            )
+            lo = mid
+        except OutOfMemoryError:
+            hi = mid - 1
+    return lo
+
+
+def test_memory_scaling(benchmark, queries):
+    short_queries = queries[:20]
+    ranks = [2, 4, 8]
+    rows = []
+    a_caps, mw_caps = {}, {}
+    for p in ranks:
+        a_caps[p] = max_fitting_sequences("algorithm_a", p, short_queries)
+        mw_caps[p] = max_fitting_sequences("master_worker", p, short_queries)
+        rows.append([str(p), format_si(a_caps[p]), format_si(mw_caps[p])])
+    benchmark.pedantic(
+        max_fitting_sequences, args=("algorithm_a", 4, short_queries), rounds=1, iterations=1
+    )
+
+    cost = CostModel()
+    per_rank = (a_caps[8] - a_caps[4]) / 4
+    paper_scale = per_rank * ((1 << 30) / CAP)
+    paper_mw = mw_caps[8] * ((1 << 30) / CAP)
+    table = render_table(
+        ["p", "max DB (Algorithm A)", "max DB (master-worker)"],
+        rows,
+        title=f"Memory scaling at {format_si(CAP)}B per rank",
+    )
+    table += (
+        f"\n\nAlgorithm A admits ~{format_si(per_rank)} sequences per added rank at bench"
+        f" scale\n -> extrapolated to the paper's 1 GB/rank: ~{format_si(paper_scale)}"
+        f" per rank (paper: ~420K)"
+        f"\nreplicated baseline wall extrapolated to 1 GB: ~{format_si(paper_mw)}"
+        f" sequences (paper: 1.27M)"
+        f"\n(metadata model: {cost.metadata_bytes_per_sequence} B/sequence; see CostModel)"
+    )
+    write_output("memory.txt", table)
+
+    # baseline wall is flat in p; A grows ~linearly
+    assert mw_caps[8] <= mw_caps[4] * 1.1
+    assert a_caps[8] / a_caps[4] == pytest.approx(2.0, rel=0.25)
+    # extrapolations land on the paper's numbers
+    assert paper_scale == pytest.approx(420_000, rel=0.25)
+    assert paper_mw == pytest.approx(1_270_000, rel=0.25)

@@ -1,0 +1,65 @@
+"""Sensitivity ablation: do the reproduced conclusions depend on calibration?
+
+Perturbs every time constant of the cost model by 0.25x / 4x and
+re-checks the paper's five qualitative conclusions (see
+repro.analysis.sensitivity).  A reproduction whose shapes only appear at
+one magic calibration would be reporting the calibration, not the
+algorithm; this bench demonstrates they don't.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_output
+from repro.analysis.sensitivity import SWEEPABLE_FIELDS, sweep
+from repro.utils.format import render_table
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+
+def test_conclusions_robust_to_calibration(benchmark):
+    small = generate_database(400, seed=202)
+    large = generate_database(6400, seed=202)
+    queries = generate_queries(200, seed=17)
+
+    results = benchmark.pedantic(
+        sweep,
+        args=(small, large, queries),
+        kwargs={"factors": (0.25, 1.0, 4.0), "ranks_small": 8, "ranks_large": 32},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for check in results:
+        rows.append(
+            [
+                check.field,
+                f"x{check.factor:g}",
+                "yes" if check.c1_linear_in_n else "NO",
+                "yes" if check.c2_large_keeps_scaling else "NO",
+                "yes" if check.c3_small_stops_scaling else "NO",
+                "yes" if check.c4_sort_grows else "NO",
+                "yes" if check.c5_b_loses_at_scale else "NO",
+            ]
+        )
+    table = render_table(
+        [
+            "perturbed constant",
+            "factor",
+            "T~N",
+            "large scales",
+            "small saturates",
+            "sort grows",
+            "B loses",
+        ],
+        rows,
+        title="Cost-model sensitivity: paper conclusions under perturbed calibration",
+    )
+    write_output("sensitivity.txt", table)
+
+    holds = sum(1 for c in results if c.all_hold)
+    assert holds == len(results), (
+        f"{len(results) - holds} perturbation points broke a conclusion — "
+        "see benchmarks/output/sensitivity.txt"
+    )
+    assert len(results) == 3 * len(SWEEPABLE_FIELDS)

@@ -1,0 +1,55 @@
+"""Table III — candidates evaluated per second vs. processor count.
+
+"From an application point of view, this is likely to be the most
+interesting performance measure" (paper Section III).  The paper shows
+the rate roughly doubling with p on the full 2.65 M-sequence microbial
+database (41,429/s at p = 8 up to 522,331/s at p = 128).
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled_sizes, write_output
+from repro.core.algorithm_a import run_algorithm_a
+from repro.utils.format import render_table
+
+RANKS = [8, 16, 32, 64, 128]
+PAPER_RATES = {8: 41_429, 16: 76_057, 32: 159_220, 64: 271_294, 128: 522_331}
+
+
+def test_table3_candidate_rate(benchmark, queries, modeled_config, database_cache):
+    n = scaled_sizes()[-1]  # largest size in the bench grid
+    db = database_cache(n)
+
+    rates = {}
+    reports = {}
+    for p in RANKS:
+        rep = run_algorithm_a(db, queries, p, modeled_config)
+        reports[p] = rep
+        rates[p] = rep.candidates_per_second
+    benchmark.pedantic(
+        run_algorithm_a, args=(db, queries, 8, modeled_config), rounds=2, iterations=1
+    )
+
+    rows = [
+        [
+            str(p),
+            f"{rates[p]:.0f}",
+            f"{PAPER_RATES[p]}",
+            f"{rates[p] / rates[8]:.2f}",
+            f"{PAPER_RATES[p] / PAPER_RATES[8]:.2f}",
+        ]
+        for p in RANKS
+    ]
+    table = render_table(
+        ["p", "candidates/s (ours)", "candidates/s (paper)", "rel. to p=8 (ours)", "rel. (paper)"],
+        rows,
+        title=f"Table III: candidate evaluation rate ({n}-sequence database)",
+    )
+    write_output("table3.txt", table)
+
+    # shape: rate grows near-linearly with p
+    assert rates[16] / rates[8] == pytest.approx(2.0, rel=0.35)
+    assert rates[32] / rates[16] == pytest.approx(2.0, rel=0.35)
+    assert rates[128] > 6 * rates[8]
+    # absolute regime: same order of magnitude as the paper at p = 8
+    assert 10_000 < rates[8] < 400_000

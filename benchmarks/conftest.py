@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures and output plumbing.
+
+Every paper artifact (table/figure) has one bench module that
+regenerates it.  Regenerated tables are printed to the terminal (run
+with ``-s`` to see them live) and written under ``benchmarks/output/``
+so EXPERIMENTS.md can cite stable files.
+
+Scale control: the paper's full microbial grid reaches 2.65 M sequences;
+benchmarks default to a laptop-friendly sub-grid and honour
+``REPRO_BENCH_SCALE`` (float multiplier on database sizes, default 1.0
+over the built-in small grid) for heavier runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: database-size grid used by the scaling benches (paper: 1K ... 2.65M)
+BENCH_SIZES = [1_000, 2_000, 4_000, 8_000, 16_000]
+#: processor counts (paper: 1 ... 128)
+BENCH_RANKS = [1, 2, 4, 8, 16, 32, 64, 128]
+#: the paper's query count is 1,210; the benches default to 1,210 as well
+BENCH_QUERIES = 1_210
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_sizes() -> list:
+    s = bench_scale()
+    return [max(100, int(n * s)) for n in BENCH_SIZES]
+
+
+@pytest.fixture(scope="session")
+def queries():
+    """The 1,210-spectrum query workload (paper Section III)."""
+    return generate_queries(BENCH_QUERIES, seed=17)
+
+
+@pytest.fixture(scope="session")
+def modeled_config():
+    return SearchConfig(execution=ExecutionMode.MODELED)
+
+
+@pytest.fixture(scope="session")
+def database_cache():
+    """Memoized microbial-statistics databases by size."""
+    cache = {}
+
+    def get(n: int):
+        if n not in cache:
+            cache[n] = generate_database(n, seed=202, mean_length=314.44)
+        return cache[n]
+
+    return get
+
+
+def write_output(name: str, content: str) -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+    return path

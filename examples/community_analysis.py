@@ -1,0 +1,98 @@
+"""Metagenomic community analysis: the paper's target application, end to end.
+
+Builds a synthetic microbial community (skewed abundances, a fraction of
+taxa unsequenced), searches its spectra against the partial reference
+database with the space-optimal Algorithm A, and separates what a real
+metagenomics pipeline must separate:
+
+* identifications from sequenced taxa (recoverable, FDR-controlled),
+* "dark matter" spectra from unsequenced taxa (they burn candidate
+  evaluations — the paper's Figure 1b cost — but must not produce
+  confident identifications).
+
+Run:  python examples/community_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SearchConfig, run_search
+from repro.analysis.quality import recovery
+from repro.chem.decoy import with_decoys
+from repro.scoring.statistics import accepted_at_fdr, fdr_curve, top_hits_with_labels
+from repro.utils.format import format_si, render_table
+from repro.workloads.community import CommunitySpec, build_community, community_queries
+
+
+def main() -> None:
+    spec = CommunitySpec(
+        num_organisms=15,
+        proteins_per_organism=120,
+        sequenced_fraction=0.6,
+        abundance_sigma=1.2,
+        seed=13,
+    )
+    community = build_community(spec)
+    print(
+        f"community: {spec.num_organisms} taxa, "
+        f"{int(community.sequenced.sum())} sequenced; reference database "
+        f"{len(community.reference)} proteins "
+        f"({format_si(community.reference.total_residues)} residues)"
+    )
+
+    spectra, targets, from_sequenced = community_queries(community, 60, seed=14)
+    print(
+        f"queries: {len(spectra)} spectra, {int(from_sequenced.sum())} from "
+        f"sequenced taxa, {int((~from_sequenced).sum())} dark matter\n"
+    )
+
+    # search against target + decoy for FDR control, on 8 simulated ranks
+    searched = with_decoys(community.reference)
+    config = SearchConfig(tau=5, scorer="likelihood")
+    report = run_search(searched, spectra, "algorithm_a", 8, config)
+    print(
+        f"Algorithm A, p=8: {report.candidates_evaluated} candidate evaluations "
+        f"in {report.virtual_time:.2f} simulated seconds\n"
+    )
+
+    # FDR-controlled identifications
+    idents = fdr_curve(top_hits_with_labels(report.hits))
+    accepted = accepted_at_fdr(idents, fdr=0.05)
+    accepted_ids = {i.query_id for i in accepted}
+    seq_ids = {k for k in range(len(spectra)) if from_sequenced[k]}
+    dark_ids = {k for k in range(len(spectra)) if not from_sequenced[k]}
+
+    rows = [
+        ["accepted at 5% FDR", len(accepted_ids & seq_ids), len(accepted_ids & dark_ids)],
+        ["rejected", len(seq_ids - accepted_ids), len(dark_ids - accepted_ids)],
+    ]
+    print(
+        render_table(
+            ["", "from sequenced taxa", "dark matter"],
+            rows,
+            title="Identification outcomes",
+        )
+    )
+
+    seq_list = sorted(seq_ids)
+    rec = recovery(
+        community.reference,
+        report,
+        [spectra[k] for k in seq_list],
+        [targets[k] for k in seq_list],
+        k=5,
+    )
+    dark_accept_rate = len(accepted_ids & dark_ids) / max(len(dark_ids), 1)
+    print(
+        f"\nrecall on sequenced-taxon queries (top-5): {rec.recall_at_k:.2f}"
+        f"\nfalse-acceptance rate on dark matter:      {dark_accept_rate:.2f}"
+        "\n\nThe dark-matter spectra still cost full candidate evaluation —"
+        "\nexactly why the paper argues metagenomics needs the space-optimal"
+        "\nparallel search AND accurate statistics."
+    )
+    assert np.isfinite(report.virtual_time)
+
+
+if __name__ == "__main__":
+    main()

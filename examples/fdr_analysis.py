@@ -1,0 +1,74 @@
+"""Target-decoy FDR analysis: quantifying the paper's quality axis.
+
+The paper argues that as candidate spaces explode (metagenomics, PTMs),
+"a significantly higher level of statistical accuracy is required".
+This example measures that claim: search a target+decoy database with
+the accurate likelihood model and with the cheap shared-peak count, and
+compare how many identifications each accepts at 1% / 5% FDR.
+
+Run:  python examples/fdr_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import SearchConfig, generate_database, search_serial
+from repro.chem.decoy import with_decoys
+from repro.scoring.statistics import accepted_at_fdr, fdr_curve, top_hits_with_labels
+from repro.utils.format import render_table
+from repro.workloads.queries import QueryWorkload
+
+
+def analyze(scorer_name: str, combined, spectra):
+    report = search_serial(combined, spectra, SearchConfig(tau=3, scorer=scorer_name))
+    idents = fdr_curve(top_hits_with_labels(report.hits))
+    return {
+        "idents": idents,
+        "at_1pct": len(accepted_at_fdr(idents, 0.01)),
+        "at_5pct": len(accepted_at_fdr(idents, 0.05)),
+        "decoy_top_hits": sum(1 for i in idents if i.is_decoy),
+    }
+
+
+def main() -> None:
+    targets = generate_database(400, seed=91)
+    combined = with_decoys(targets, method="reverse")
+    print(f"target+decoy database: {combined}")
+
+    # 60 genuine spectra (targets in the database) + 20 spectra of
+    # peptides absent from it (these SHOULD be rejected).
+    genuine, _ = QueryWorkload(num_queries=60, seed=92, source=targets).build()
+    absent, _ = QueryWorkload(num_queries=20, seed=93, decoy_fraction=1.0).build()
+    absent = [  # re-number query ids after the genuine block
+        type(s)(s.mz, s.intensity, s.precursor_mz, s.charge, 1000 + k)
+        for k, s in enumerate(absent)
+    ]
+    spectra = list(genuine) + absent
+    print(f"queries: {len(genuine)} genuine + {len(absent)} not-in-database\n")
+
+    rows = []
+    for scorer in ("likelihood", "hyperscore", "shared_peaks"):
+        result = analyze(scorer, combined, spectra)
+        rows.append(
+            [
+                scorer,
+                str(result["at_1pct"]),
+                str(result["at_5pct"]),
+                str(result["decoy_top_hits"]),
+            ]
+        )
+    print(
+        render_table(
+            ["scorer", "accepted @1% FDR", "accepted @5% FDR", "decoy top hits"],
+            rows,
+            title="Identifications surviving target-decoy FDR control",
+        )
+    )
+    print(
+        "\nThe accurate likelihood model separates true matches from decoys"
+        "\nmore sharply, so more genuine identifications survive FDR control"
+        "\n— the paper's 'quality' justification for spending parallel cycles."
+    )
+
+
+if __name__ == "__main__":
+    main()

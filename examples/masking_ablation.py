@@ -1,0 +1,67 @@
+"""Masking ablation: what communication-computation overlap buys.
+
+Runs Algorithm A with and without the non-blocking prefetch (the paper's
+"second version of the algorithm that does not mask communication with
+computation") across a range of network speeds, and prints the run-time
+reduction masking delivers — large exactly when transfers are material
+relative to per-iteration compute.
+
+Run:  python examples/masking_ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import ExecutionMode, SearchConfig, generate_database
+from repro.core.algorithm_a import run_algorithm_a
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.scheduler import ClusterConfig
+from repro.utils.format import render_table
+from repro.workloads.queries import generate_queries
+
+
+def main() -> None:
+    database = generate_database(4_000, seed=202)
+    queries = generate_queries(400, seed=17)
+    config = SearchConfig(execution=ExecutionMode.MODELED)
+
+    base = NetworkModel()
+    rows = []
+    for label, factor in (("gigabit", 1), ("10x slower", 10), ("40x slower", 40), ("160x slower", 160)):
+        network = NetworkModel(byte_cost=base.byte_cost * factor, latency=base.latency)
+        for p in (8, 32):
+            masked = run_algorithm_a(
+                database, queries, p, config, mask=True,
+                cluster_config=ClusterConfig(num_ranks=p, network=network),
+            )
+            unmasked = run_algorithm_a(
+                database, queries, p, config, mask=False,
+                cluster_config=ClusterConfig(num_ranks=p, network=network),
+            )
+            reduction = 100 * (1 - masked.virtual_time / unmasked.virtual_time)
+            rows.append(
+                [
+                    label,
+                    str(p),
+                    f"{masked.virtual_time:.2f}",
+                    f"{unmasked.virtual_time:.2f}",
+                    f"{reduction:.1f}%",
+                    f"{masked.extras['residual_to_compute']:.2f}",
+                ]
+            )
+
+    print(
+        render_table(
+            ["network", "p", "masked (s)", "unmasked (s)", "reduction", "residual/compute"],
+            rows,
+            title="Masking ablation (paper Section III; claim: 72.75% reduction on their cluster)",
+        )
+    )
+    print(
+        "\nMasking saves exactly the transfer time it can hide; the saving grows"
+        "\nwith the communication/computation ratio. See EXPERIMENTS.md for why"
+        "\nthe paper's 72.75% figure exceeds what its own data volumes admit."
+    )
+
+
+if __name__ == "__main__":
+    main()

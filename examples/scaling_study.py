@@ -1,0 +1,65 @@
+"""Scaling study: regenerate the paper's core experiment at your own scale.
+
+Sweeps database sizes and processor counts with Algorithm A on the
+simulated cluster (MODELED execution: candidates are counted exactly but
+not scored, so large grids finish in seconds) and prints Table II- and
+Figure 4-style outputs, plus the Table III candidate-rate row.
+
+Run:  python examples/scaling_study.py [--sizes 1000,4000,16000] [--ranks 1,2,4,8,16,32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ExecutionMode, SearchConfig, generate_database, run_search
+from repro.analysis.metrics import scaling_table
+from repro.analysis.tables import format_runtime_table, format_scaling_rows
+from repro.utils.format import render_table
+from repro.workloads.queries import generate_queries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="1000,4000,16000")
+    parser.add_argument("--ranks", default="1,2,4,8,16,32,64,128")
+    parser.add_argument("--queries", type=int, default=1210)
+    args = parser.parse_args()
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    ranks = [int(p) for p in args.ranks.split(",")]
+    queries = generate_queries(args.queries, seed=17)
+    config = SearchConfig(execution=ExecutionMode.MODELED)
+
+    run_times: dict = {}
+    candidates: dict = {}
+    for n in sizes:
+        database = generate_database(n, seed=202, mean_length=314.44)
+        run_times[n], candidates[n] = {}, {}
+        for p in ranks:
+            report = run_search(database, queries, "algorithm_a", p, config)
+            run_times[n][p] = report.virtual_time
+            candidates[n][p] = report.candidates_evaluated
+
+    print(format_runtime_table(run_times, ranks, title="Algorithm A run-time (simulated s)"))
+    print()
+    points = scaling_table(run_times, anchor_rank=8, candidates_per_run=candidates)
+    print(format_scaling_rows(points, title="Speedup / efficiency (Figure 4 style)"))
+    print()
+    biggest = sizes[-1]
+    rate_rows = [
+        [str(p), f"{candidates[biggest][p] / run_times[biggest][p]:.0f}"]
+        for p in ranks
+        if p >= 8
+    ]
+    print(
+        render_table(
+            ["p", "candidates/s"],
+            rate_rows,
+            title=f"Candidate evaluation rate, {biggest}-sequence database (Table III style)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

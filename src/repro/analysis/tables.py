@@ -1,0 +1,45 @@
+"""Rendering run-time grids and scaling points as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import ScalingPoint
+from repro.utils.format import format_si, render_table
+
+
+def format_runtime_table(
+    run_times: Dict[int, Dict[int, float]],
+    rank_columns: Sequence[int],
+    title: str = "",
+) -> str:
+    """Render a Table II-style grid: rows = DB sizes, columns = p.
+
+    Missing cells print '-' ("the corresponding run was not performed",
+    e.g. it would exceed the per-rank memory cap).
+    """
+    headers = ["Database size (n)"] + [str(p) for p in rank_columns]
+    rows = []
+    for n in sorted(run_times):
+        row: List[object] = [format_si(n)]
+        for p in rank_columns:
+            t = run_times[n].get(p)
+            row.append("-" if t is None else f"{t:.2f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def format_scaling_rows(points: List[ScalingPoint], title: str = "") -> str:
+    """Render Figure 4's data as rows (size, p, time, speedup, efficiency)."""
+    headers = ["Database size", "p", "Run-time (s)", "Speedup", "Efficiency (%)"]
+    rows = [
+        [
+            format_si(pt.database_size),
+            pt.num_ranks,
+            f"{pt.run_time:.2f}",
+            f"{pt.speedup:.2f}",
+            f"{100 * pt.efficiency:.1f}",
+        ]
+        for pt in points
+    ]
+    return render_table(headers, rows, title=title)

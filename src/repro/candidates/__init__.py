@@ -1,0 +1,18 @@
+"""Candidate generation: prefix/suffix mass indexing and enumeration."""
+
+from repro.candidates.mass_index import MassIndex, CandidateSpans
+from repro.candidates.generator import (
+    CandidateGenerator,
+    count_candidates,
+    mass_window,
+)
+from repro.candidates.tryptic import TrypticIndex
+
+__all__ = [
+    "MassIndex",
+    "CandidateSpans",
+    "CandidateGenerator",
+    "count_candidates",
+    "mass_window",
+    "TrypticIndex",
+]

@@ -1,0 +1,135 @@
+"""Residue alphabet, encoded sequences, mass tables, and modifications.
+
+Sequences are stored internally as ``numpy.uint8`` arrays of ASCII codes
+("encoded" sequences).  This matches the paper's storage model — the
+database is a flat byte buffer partitioned into N/p-byte chunks — and
+lets mass computations run as vectorized table lookups instead of Python
+loops over characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.constants import AMINO_ACIDS, AVERAGE_MASS, MONOISOTOPIC_MASS
+from repro.errors import InvalidSequenceError
+
+#: ASCII byte codes of the 20 standard residues, in alphabet order.
+RESIDUE_CODES: np.ndarray = np.frombuffer(AMINO_ACIDS.encode("ascii"), dtype=np.uint8)
+
+_VALID = np.zeros(256, dtype=bool)
+_VALID[RESIDUE_CODES] = True
+
+# 256-entry lookup tables: residue ASCII code -> mass.  Invalid codes map
+# to NaN so an un-validated sequence poisons downstream masses loudly
+# instead of silently contributing zero.
+_MONO_TABLE = np.full(256, np.nan)
+_AVG_TABLE = np.full(256, np.nan)
+for _aa in AMINO_ACIDS:
+    _MONO_TABLE[ord(_aa)] = MONOISOTOPIC_MASS[_aa]
+    _AVG_TABLE[ord(_aa)] = AVERAGE_MASS[_aa]
+
+
+def mass_table(monoisotopic: bool = True) -> np.ndarray:
+    """Return the 256-entry residue-code -> mass lookup table (read-only view)."""
+    table = _MONO_TABLE if monoisotopic else _AVG_TABLE
+    view = table.view()
+    view.flags.writeable = False
+    return view
+
+
+def is_valid_sequence(encoded: np.ndarray) -> bool:
+    """True if every byte of ``encoded`` is one of the 20 standard residue codes."""
+    if encoded.dtype != np.uint8:
+        raise TypeError(f"expected uint8 array, got {encoded.dtype}")
+    return bool(np.all(_VALID[encoded]))
+
+
+def encode_sequence(sequence: str, validate: bool = True) -> np.ndarray:
+    """Encode a residue string to a uint8 array of ASCII codes.
+
+    Raises :class:`InvalidSequenceError` if ``validate`` and the string
+    contains non-residue characters (including lowercase).
+    """
+    encoded = np.frombuffer(sequence.encode("ascii", errors="strict"), dtype=np.uint8)
+    if validate and not is_valid_sequence(encoded):
+        bad = sorted({c for c in sequence if ord(c) > 255 or not _VALID[ord(c)]})
+        raise InvalidSequenceError(f"invalid residue(s) {bad!r} in sequence")
+    return encoded.copy()  # frombuffer gives a read-only view of the bytes
+
+
+def decode_sequence(encoded: np.ndarray) -> str:
+    """Inverse of :func:`encode_sequence`."""
+    return encoded.tobytes().decode("ascii")
+
+
+def residue_masses(encoded: np.ndarray, monoisotopic: bool = True) -> np.ndarray:
+    """Vectorized per-residue masses for an encoded sequence."""
+    return mass_table(monoisotopic)[encoded]
+
+
+@dataclass(frozen=True)
+class Modification:
+    """A post-translational modification (PTM).
+
+    The paper highlights PTMs as a key driver of candidate explosion
+    (Figure 1b discussion): each *variable* modification multiplies the
+    number of candidate masses a peptide can present.
+
+    Attributes:
+        name: human-readable name, e.g. ``"oxidation"``.
+        target: one-letter residue code the modification applies to.
+        delta_mass: mass shift in Da added to the unmodified residue.
+        fixed: if True the modification always applies (e.g.
+            carbamidomethylation of C); if False it may or may not be
+            present and candidate generation must consider both forms.
+    """
+
+    name: str
+    target: str
+    delta_mass: float
+    fixed: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.target) != 1 or self.target not in AMINO_ACIDS:
+            raise InvalidSequenceError(f"modification target {self.target!r} is not a residue")
+
+
+#: Common modifications, keyed by name.
+STANDARD_MODIFICATIONS: Dict[str, Modification] = {
+    "carbamidomethyl": Modification("carbamidomethyl", "C", 57.021464, fixed=True),
+    "oxidation": Modification("oxidation", "M", 15.994915, fixed=False),
+    "phosphorylation_s": Modification("phosphorylation_s", "S", 79.966331, fixed=False),
+    "phosphorylation_t": Modification("phosphorylation_t", "T", 79.966331, fixed=False),
+    "phosphorylation_y": Modification("phosphorylation_y", "Y", 79.966331, fixed=False),
+    "acetylation": Modification("acetylation", "K", 42.010565, fixed=False),
+    "deamidation_n": Modification("deamidation_n", "N", 0.984016, fixed=False),
+}
+
+
+def modification_mass_table(
+    modifications: Iterable[Modification], monoisotopic: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build lookup tables applying *fixed* and *variable* modifications.
+
+    Returns ``(fixed_table, variable_delta_table)`` where ``fixed_table``
+    is a 256-entry residue-mass table with all fixed modifications folded
+    in, and ``variable_delta_table`` is a 256-entry table of the variable
+    mass delta available at each residue code (0 where none applies).
+    Multiple variable modifications on the same residue are not supported
+    and raise :class:`ValueError`.
+    """
+    fixed_table = np.array(mass_table(monoisotopic))
+    variable = np.zeros(256)
+    for mod in modifications:
+        code = ord(mod.target)
+        if mod.fixed:
+            fixed_table[code] += mod.delta_mass
+        else:
+            if variable[code] != 0.0:
+                raise ValueError(f"multiple variable modifications target {mod.target!r}")
+            variable[code] = mod.delta_mass
+    return fixed_table, variable

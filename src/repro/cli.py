@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic database as FASTA.
+* ``search``   — run a search with any engine and print the top hits.
+* ``scaling``  — regenerate a Table II-style run-time/speedup grid.
+* ``validate`` — check that Algorithms A and B reproduce the serial
+  engine's output exactly (the paper's validation experiment).
+* ``calibrate`` — measure this host's per-candidate scoring cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.calibration import calibrate_rho
+from repro.analysis.metrics import scaling_table
+from repro.analysis.tables import format_runtime_table, format_scaling_rows
+from repro.chem.fasta import write_fasta
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.driver import ALGORITHMS, run_search
+from repro.core.results import reports_equal
+from repro.core.search import search_serial
+from repro.utils.format import format_si
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+
+def _add_search_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--database-size", "-n", type=int, default=2000, help="number of synthetic proteins")
+    p.add_argument("--queries", "-m", type=int, default=100, help="number of query spectra")
+    p.add_argument("--seed", type=int, default=202, help="database seed")
+    p.add_argument("--query-seed", type=int, default=17, help="query workload seed")
+    p.add_argument("--delta", type=float, default=3.0, help="parent-mass tolerance (Da)")
+    p.add_argument("--tau", type=int, default=50, help="top hits kept per query")
+    p.add_argument("--scorer", default="likelihood", help="scoring model")
+
+
+def _make_config(args: argparse.Namespace, execution: ExecutionMode = ExecutionMode.REAL) -> SearchConfig:
+    return SearchConfig(
+        delta=args.delta, tau=args.tau, scorer=args.scorer, execution=execution
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    db = (
+        load_dataset(args.dataset, n=args.database_size)
+        if args.dataset
+        else generate_database(args.database_size, seed=args.seed)
+    )
+    write_fasta(args.output, db)
+    print(f"wrote {len(db)} sequences ({format_si(db.total_residues)} residues) to {args.output}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    db = generate_database(args.database_size, seed=args.seed)
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    config = _make_config(args)
+    report = run_search(db, queries, args.algorithm, args.ranks, config)
+    if args.output:
+        from repro.core.results import write_tsv
+
+        write_tsv(report, args.output, database=db)
+        print(f"wrote identifications to {args.output}")
+    print(
+        f"{report.algorithm} p={report.num_ranks}: simulated time "
+        f"{report.virtual_time:.2f}s, {report.candidates_evaluated} candidate "
+        f"evaluations ({report.candidates_per_second:.0f}/s)"
+    )
+    shown = 0
+    for qid in sorted(report.hits):
+        top = report.top_hit(qid)
+        if top is None or shown >= args.show:
+            continue
+        print(
+            f"  query {qid}: protein {top.protein_id} span "
+            f"[{top.start},{top.stop}) mass {top.mass:.3f} score {top.score:.3f}"
+        )
+        shown += 1
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    config = _make_config(args, ExecutionMode.MODELED)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    ranks = [int(p) for p in args.ranks_list.split(",")]
+    run_times = {}
+    for n in sizes:
+        db = generate_database(n, seed=args.seed)
+        run_times[n] = {}
+        for p in ranks:
+            rep = run_search(db, queries, args.algorithm, p, config)
+            run_times[n][p] = rep.virtual_time
+    print(format_runtime_table(run_times, ranks, title=f"{args.algorithm} run-times (s)"))
+    print()
+    print(format_scaling_rows(scaling_table(run_times), title="speedup / efficiency"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    db = generate_database(args.database_size, seed=args.seed)
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    config = _make_config(args)
+    reference = search_serial(db, queries, config)
+    failed = False
+    for algorithm in ("algorithm_a", "algorithm_b", "master_worker"):
+        report = run_search(db, queries, algorithm, args.ranks, config)
+        ok = reports_equal(reference, report)
+        print(f"{algorithm} p={args.ranks}: {'OK — output identical to serial' if ok else 'MISMATCH'}")
+        failed |= not ok
+    return 1 if failed else 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run several engines on one workload; compare time, memory, quality."""
+    from repro.analysis.quality import recovery
+    from repro.workloads.queries import QueryWorkload
+
+    db = generate_database(args.database_size, seed=args.seed)
+    spectra, targets = QueryWorkload(
+        num_queries=args.queries, seed=args.query_seed, source=db
+    ).build()
+    config = _make_config(args)
+    algorithms = args.algorithms.split(",")
+    rows = []
+    for algorithm in algorithms:
+        report = run_search(db, spectra, algorithm, args.ranks, config)
+        quality = recovery(db, report, spectra, targets, k=min(args.tau, 10))
+        rows.append(
+            [
+                algorithm,
+                f"{report.virtual_time:.3f}",
+                format_si(report.max_peak_memory),
+                f"{report.candidates_evaluated}",
+                f"{quality.recall_at_1:.2f}",
+            ]
+        )
+    from repro.utils.format import render_table
+
+    print(
+        render_table(
+            ["algorithm", "sim time (s)", "peak rank mem", "candidates", "recall@1"],
+            rows,
+            title=f"{args.database_size}-sequence DB, {args.queries} queries, p={args.ranks}",
+        )
+    )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Render a per-rank gantt of one simulated run."""
+    from repro.analysis.timeline import ascii_gantt, utilization_table
+    from repro.simmpi.scheduler import ClusterConfig
+
+    db = generate_database(args.database_size, seed=args.seed)
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    config = _make_config(args, ExecutionMode.MODELED)
+    report = run_search(
+        db, queries, args.algorithm, args.ranks, config,
+        cluster_config=ClusterConfig(num_ranks=args.ranks, record_events=True),
+    )
+    assert report.trace is not None
+    print(utilization_table(report.trace))
+    print()
+    print(ascii_gantt(report.trace, width=args.width))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Recommend an engine for a workload (paper Section III.A guidance)."""
+    from repro.core.advisor import advise
+
+    advice = advise(
+        num_sequences=args.sequences,
+        total_residues=args.residues if args.residues > 0 else int(args.sequences * 314.44),
+        num_ranks=args.ranks,
+        ram_per_rank=args.ram,
+    )
+    print(f"recommended engine: {advice.summary}")
+    for reason in advice.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Assemble benchmarks/output/*.txt into one reproduction report."""
+    from pathlib import Path
+
+    out_dir = Path(args.output_dir)
+    if not out_dir.is_dir():
+        print(
+            f"{out_dir} not found - run `pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    order = [
+        "table1", "table2", "fig4", "table3", "table4", "fig1a", "fig1b",
+        "masking", "memory", "validation", "xbang", "models", "extensions",
+        "sensitivity",
+    ]
+    def section(name: str, path) -> str:
+        body = path.read_text().rstrip()
+        return f"## {name}\n\n```\n{body}\n```\n"
+
+    sections = []
+    for name in order:
+        path = out_dir / f"{name}.txt"
+        if path.exists():
+            sections.append(section(name, path))
+    for path in sorted(out_dir.glob("*.txt")):
+        if path.stem not in order:
+            sections.append(section(path.stem, path))
+    report = (
+        "# Reproduction report\n\n"
+        "Regenerated tables/figures for Kulkarni et al., ICPP Workshops 2009.\n"
+        "See EXPERIMENTS.md for the paper-vs-measured discussion.\n\n"
+        + "\n".join(sections)
+    )
+    target = Path(args.output)
+    target.write_text(report)
+    print(f"wrote {target} ({len(sections)} sections)")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    result = calibrate_rho()
+    print(
+        f"measured rho = {result.rho_measured * 1e6:.1f} us/candidate over "
+        f"{result.candidates_timed} candidates ({result.wall_time:.2f}s wall)"
+    )
+    print(f"fitted CostModel.rho_base = {result.model.rho_base * 1e6:.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable parallel peptide identification (ICPP 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic protein database as FASTA")
+    p_gen.add_argument("output", help="output FASTA path")
+    p_gen.add_argument("--database-size", "-n", type=int, default=2000)
+    p_gen.add_argument("--seed", type=int, default=202)
+    p_gen.add_argument("--dataset", choices=["human", "microbial"], default=None)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_search = sub.add_parser("search", help="run one search and print top hits")
+    _add_search_args(p_search)
+    p_search.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="algorithm_a")
+    p_search.add_argument("--ranks", "-p", type=int, default=4)
+    p_search.add_argument("--show", type=int, default=5, help="queries to print")
+    p_search.add_argument("--output", "-o", default=None, help="write hits as TSV")
+    p_search.set_defaults(func=cmd_search)
+
+    p_scaling = sub.add_parser("scaling", help="regenerate a run-time/speedup grid")
+    _add_search_args(p_scaling)
+    p_scaling.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="algorithm_a")
+    p_scaling.add_argument("--sizes", default="1000,2000,4000", help="comma-separated DB sizes")
+    p_scaling.add_argument("--ranks-list", default="1,2,4,8,16", help="comma-separated rank counts")
+    p_scaling.set_defaults(func=cmd_scaling)
+
+    p_val = sub.add_parser("validate", help="check parallel output equals serial output")
+    _add_search_args(p_val)
+    p_val.add_argument("--ranks", "-p", type=int, default=4)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_cal = sub.add_parser("calibrate", help="measure this host's scoring cost")
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    p_rep = sub.add_parser("report", help="assemble bench outputs into one report")
+    p_rep.add_argument("--output-dir", default="benchmarks/output")
+    p_rep.add_argument("--output", default="REPRODUCTION_REPORT.md")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_adv = sub.add_parser("advise", help="recommend an engine for a workload")
+    p_adv.add_argument("--sequences", type=int, required=True, help="database sequence count")
+    p_adv.add_argument("--residues", type=int, default=-1, help="total residues (default: 314.44/seq)")
+    p_adv.add_argument("--ranks", "-p", type=int, default=8)
+    p_adv.add_argument("--ram", type=int, default=1 << 30, help="bytes of RAM per rank")
+    p_adv.set_defaults(func=cmd_advise)
+
+    p_cmp = sub.add_parser("compare", help="compare engines on time/memory/quality")
+    _add_search_args(p_cmp)
+    p_cmp.add_argument(
+        "--algorithms",
+        default="algorithm_a,algorithm_b,master_worker,xbang",
+        help="comma-separated engine names",
+    )
+    p_cmp.add_argument("--ranks", "-p", type=int, default=4)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_tl = sub.add_parser("timeline", help="render a per-rank gantt of one run")
+    _add_search_args(p_tl)
+    p_tl.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="algorithm_a")
+    p_tl.add_argument("--ranks", "-p", type=int, default=4)
+    p_tl.add_argument("--width", type=int, default=80)
+    p_tl.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Physical and chemical constants used throughout the library.
+
+Residue masses are *monoisotopic* masses of amino-acid residues (i.e. the
+amino acid minus one water, as incorporated in a peptide chain), in
+daltons.  Average masses are provided as well because MSPolygraph-era
+tools supported both; the library default is monoisotopic.
+
+The m/z upper bound of 300,000 comes directly from the paper (Section
+II.B, Algorithm B): "the m/z values are bounded in practice within the
+range [1, ..., 300000]", which is what makes a counting sort over integer
+m/z keys feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Mass of a proton (Da).  Added once per charge when converting a neutral
+#: peptide mass to an observed m/z value.
+PROTON_MASS: float = 1.007276466
+
+#: Mass of a water molecule (Da).  A peptide's neutral mass is the sum of
+#: its residue masses plus one water (the terminal H and OH groups).
+WATER_MASS: float = 18.010564684
+
+#: Mass of a hydrogen atom (Da).
+HYDROGEN_MASS: float = 1.007825032
+
+#: Mass of ammonia, used for some neutral-loss ion series (Da).
+AMMONIA_MASS: float = 17.026549101
+
+#: Inclusive bounds on integer parent m/z keys used by the parallel
+#: counting sort (Algorithm B).  The paper states m/z values are bounded
+#: within [1, 300000].
+MZ_KEY_MIN: int = 1
+MZ_KEY_MAX: int = 300_000
+
+#: The 20 standard amino acids, ordered alphabetically by one-letter code.
+AMINO_ACIDS: str = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Monoisotopic residue masses (Da).
+MONOISOTOPIC_MASS: Dict[str, float] = {
+    "A": 71.037114,
+    "C": 103.009185,
+    "D": 115.026943,
+    "E": 129.042593,
+    "F": 147.068414,
+    "G": 57.021464,
+    "H": 137.058912,
+    "I": 113.084064,
+    "K": 128.094963,
+    "L": 113.084064,
+    "M": 131.040485,
+    "N": 114.042927,
+    "P": 97.052764,
+    "Q": 128.058578,
+    "R": 156.101111,
+    "S": 87.032028,
+    "T": 101.047679,
+    "V": 99.068414,
+    "W": 186.079313,
+    "Y": 163.063329,
+}
+
+#: Average residue masses (Da).
+AVERAGE_MASS: Dict[str, float] = {
+    "A": 71.0788,
+    "C": 103.1388,
+    "D": 115.0886,
+    "E": 129.1155,
+    "F": 147.1766,
+    "G": 57.0519,
+    "H": 137.1411,
+    "I": 113.1594,
+    "K": 128.1741,
+    "L": 113.1594,
+    "M": 131.1926,
+    "N": 114.1038,
+    "P": 97.1167,
+    "Q": 128.1307,
+    "R": 156.1875,
+    "S": 87.0782,
+    "T": 101.1051,
+    "V": 99.1326,
+    "W": 186.2132,
+    "Y": 163.1760,
+}
+
+#: Natural frequencies of amino acids in vertebrate/microbial proteomes
+#: (approximate UniProt composition).  Used by the synthetic protein
+#: generator so that synthetic databases have realistic mass and cleavage
+#: statistics.  Values are normalised at import time.
+NATURAL_FREQUENCY: Dict[str, float] = {
+    "A": 0.0826,
+    "C": 0.0139,
+    "D": 0.0546,
+    "E": 0.0672,
+    "F": 0.0387,
+    "G": 0.0708,
+    "H": 0.0228,
+    "I": 0.0593,
+    "K": 0.0580,
+    "L": 0.0965,
+    "M": 0.0241,
+    "N": 0.0406,
+    "P": 0.0472,
+    "Q": 0.0394,
+    "R": 0.0553,
+    "S": 0.0661,
+    "T": 0.0534,
+    "V": 0.0687,
+    "W": 0.0110,
+    "Y": 0.0292,
+}
+
+_total = sum(NATURAL_FREQUENCY.values())
+NATURAL_FREQUENCY = {aa: f / _total for aa, f in NATURAL_FREQUENCY.items()}
+del _total
+
+#: Paper Table I statistics, used by :mod:`repro.workloads.datasets` to
+#: generate scaled synthetic stand-ins for the two GenBank downloads.
+PAPER_HUMAN_SEQUENCES: int = 88_333
+PAPER_HUMAN_RESIDUES: int = 26_647_093
+PAPER_HUMAN_AVG_LENGTH: float = 301.66
+PAPER_MICROBIAL_SEQUENCES: int = 2_655_064
+PAPER_MICROBIAL_RESIDUES: int = 834_866_454
+PAPER_MICROBIAL_AVG_LENGTH: float = 314.44
+PAPER_QUERY_COUNT: int = 1_210
+
+#: Cluster parameters from the paper's experimental setup (Section III):
+#: 24 nodes x 8 Xeon 2.33 GHz cores, gigabit ethernet, 1 GB RAM per MPI
+#: process.  These seed the default simulated machine.
+PAPER_RAM_PER_RANK_BYTES: int = 1 << 30
+PAPER_MAX_RANKS: int = 192
+#: Gigabit ethernet: ~50 us end-to-end latency, ~125 MB/s bandwidth.
+PAPER_NETWORK_LATENCY_S: float = 50e-6
+PAPER_NETWORK_BYTE_COST_S: float = 1.0 / (125 * 1024 * 1024)

@@ -1,0 +1,226 @@
+"""Candidate-transport strategy — the paper's Section III.A future work.
+
+"It may be worth exploring an alternative strategy in which candidates,
+and not the database sequences, are stored in-memory and are
+communicated on demand to worker processors.  This strategy could
+drastically reduce the overall computation time.  While current
+approaches are not designed to store such large magnitudes of candidates
+in memory, our algorithm, because of its space-optimality, makes the
+investigation of this alternative approach feasible."
+
+Protocol (request/reply over the shard owners):
+
+1. every rank precomputes its shard's candidate store (the sorted
+   prefix/suffix mass index — "candidates stored in-memory");
+2. each rank sends its query mass-windows to every peer (tiny);
+3. each peer answers with the *matching candidates only* — residue spans
+   plus coordinates — instead of shipping the whole shard;
+4. the query owner scores received candidates locally and keeps the
+   running top-tau.
+
+Compared with Algorithm A, communication drops from O(N) per rank to
+O(candidate bytes), and the per-candidate compute drops by the
+generation fraction (candidates arrive pre-generated; only comparison
+remains).  The ablation bench shows where each side of the trade wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.mass_index import CandidateSpans
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.partition import partition_database, partition_queries
+from repro.core.results import SearchReport, merge_rank_hits
+from repro.core.search import ShardSearcher
+from repro.scoring.hits import Hit, TopHitList
+from repro.simmpi.comm import SimComm
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+
+_TAG_REQUEST = 1
+_TAG_REPLY = 2
+#: transported per-candidate overhead beyond residues (ids, span, mass)
+_CANDIDATE_HEADER_BYTES = 32
+#: fraction of the per-candidate cost rho spent *generating* (not
+#: scoring) a candidate; transport of pre-generated candidates saves it.
+GENERATION_FRACTION = 0.35
+
+
+def _windows_of(queries: Sequence[Spectrum], delta: float) -> np.ndarray:
+    masses = np.array([q.parent_mass for q in queries])
+    return np.stack([masses - delta, masses + delta], axis=1) if len(queries) else np.empty((0, 2))
+
+
+def _serve_request(
+    searcher: ShardSearcher, windows: np.ndarray, modeled: bool
+) -> Tuple[List[Optional[CandidateSpans]], List[List[np.ndarray]], int, int]:
+    """Enumerate (or count) candidates for each requested window."""
+    spans_per_query: List[Optional[CandidateSpans]] = []
+    residues_per_query: List[List[np.ndarray]] = []
+    total_candidates = 0
+    total_bytes = 0
+    for lo, hi in windows:
+        if modeled:
+            count = searcher.generator.index.count_in_window(float(lo), float(hi))
+            total_candidates += count
+            # estimated candidate length: window centre mass / avg residue mass
+            est_len = max(1, int(((lo + hi) / 2) / 110.0))
+            total_bytes += count * (_CANDIDATE_HEADER_BYTES + est_len)
+            spans_per_query.append(None)
+            residues_per_query.append([])
+            continue
+        spans = searcher.generator.index.candidates_in_window(float(lo), float(hi))
+        residues = [
+            searcher.shard.sequence(int(spans.seq_index[k]))[
+                int(spans.start[k]) : int(spans.stop[k])
+            ]
+            for k in range(len(spans))
+        ]
+        total_candidates += len(spans)
+        total_bytes += sum(len(r) for r in residues) + _CANDIDATE_HEADER_BYTES * len(spans)
+        spans_per_query.append(spans)
+        residues_per_query.append(residues)
+    return spans_per_query, residues_per_query, total_candidates, total_bytes
+
+
+def _score_candidates(
+    searcher_config: SearchConfig,
+    scorer,
+    spectrum: Spectrum,
+    shard_ids: np.ndarray,
+    spans: CandidateSpans,
+    residues: List[np.ndarray],
+    hitlist: TopHitList,
+) -> None:
+    min_len = searcher_config.min_candidate_length
+    for k in range(len(spans)):
+        candidate = residues[k]
+        if len(candidate) < min_len:
+            hitlist.evaluated += 1
+            continue
+        score = scorer.score(spectrum, candidate)
+        if searcher_config.score_cutoff is not None and score < searcher_config.score_cutoff:
+            hitlist.evaluated += 1
+            continue
+        hitlist.add(
+            Hit(
+                query_id=spectrum.query_id,
+                score=score,
+                protein_id=int(shard_ids[int(spans.seq_index[k])]),
+                start=int(spans.start[k]),
+                stop=int(spans.stop[k]),
+                mass=float(spans.mass[k]),
+            )
+        )
+
+
+def _rank_program(
+    comm: SimComm,
+    searchers: Sequence[ShardSearcher],
+    query_blocks: Sequence[List[Spectrum]],
+    config: SearchConfig,
+):
+    p, i = comm.size, comm.rank
+    cost = config.cost
+    modeled = config.execution is ExecutionMode.MODELED
+    searcher = searchers[i]
+    my_queries = query_blocks[i]
+    scorer = searcher.scorer
+
+    # the in-memory candidate store: shard + its sorted span-mass arrays
+    store_bytes = cost.shard_bytes(searcher.shard) + searcher.generator.nbytes
+    comm.alloc("candidate_store", store_bytes)
+    comm.alloc("Qi", sum(q.nbytes for q in my_queries))
+    comm.compute(cost.load_time(cost.shard_bytes(searcher.shard), len(my_queries)))
+    comm.compute(cost.scan_time(searcher.shard.nbytes), detail="build candidate store")
+    yield comm.barrier_op()
+
+    # 1. broadcast this rank's query windows (tiny messages)
+    windows = _windows_of(my_queries, config.delta)
+    for peer in range(p):
+        if peer != i:
+            comm.send(peer, windows, windows.nbytes + 16, tag=_TAG_REQUEST)
+
+    # 2. serve the p - 1 incoming requests from the local store
+    candidates_served = 0
+    for _ in range(p - 1):
+        src, req_windows = yield comm.recv_op(tag=_TAG_REQUEST)
+        spans_pq, residues_pq, n_cand, n_bytes = _serve_request(searcher, req_windows, modeled)
+        candidates_served += n_cand
+        # window lookups are binary searches in the store — cheap
+        comm.compute(cost.query_overhead * len(req_windows), detail="serve windows")
+        comm.send(src, (spans_pq, residues_pq, n_cand), max(n_bytes, 8), tag=_TAG_REPLY)
+
+    # 3. score local candidates, then remote ones as replies land
+    hitlists: Dict[int, TopHitList] = {q.query_id: TopHitList(config.tau) for q in my_queries}
+    local_spans, local_res, local_count, _b = _serve_request(searcher, windows, modeled)
+    scored = local_count
+    if not modeled:
+        for q, spans, residues in zip(my_queries, local_spans, local_res):
+            _score_candidates(config, scorer, q, searcher.shard.ids, spans, residues, hitlists[q.query_id])
+    comm.compute(
+        scored * (cost.rho(scorer) * (1.0 - GENERATION_FRACTION) + cost.tau_cost)
+        + cost.query_overhead * len(my_queries)
+    )
+
+    for _ in range(p - 1):
+        src, (spans_pq, residues_pq, n_cand) = yield comm.recv_op(tag=_TAG_REPLY)
+        scored += n_cand
+        if not modeled:
+            shard_ids = searchers[src].shard.ids
+            for q, spans, residues in zip(my_queries, spans_pq, residues_pq):
+                _score_candidates(config, scorer, q, shard_ids, spans, residues, hitlists[q.query_id])
+        comm.compute(
+            n_cand * (cost.rho(scorer) * (1.0 - GENERATION_FRACTION) + cost.tau_cost)
+        )
+
+    reported = sum(min(len(h), config.tau) for h in hitlists.values())
+    comm.compute(cost.report_time(reported))
+    hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+    return hits, scored
+
+
+def run_candidate_transport(
+    database: ProteinDatabase,
+    queries: Sequence[Spectrum],
+    num_ranks: int,
+    config: Optional[SearchConfig] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    library: Optional[SpectralLibrary] = None,
+) -> SearchReport:
+    """Run the candidate-transport strategy."""
+    config = config or SearchConfig()
+    if config.modifications:
+        raise NotImplementedError(
+            "candidate transport ships unmodified spans; PTM windows are "
+            "searched owner-side in the database-transport algorithms"
+        )
+    cluster_config = cluster_config or ClusterConfig(num_ranks=num_ranks)
+    shards = partition_database(database, num_ranks)
+    searchers = [ShardSearcher(s, config, library=library) for s in shards]
+    query_blocks = partition_queries(queries, num_ranks)
+
+    cluster = SimCluster(cluster_config)
+    args = {r: (searchers, query_blocks, config) for r in range(num_ranks)}
+    outcomes, summary = cluster.run(_rank_program, args)
+
+    hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
+    candidates = sum(o.value[1] for o in outcomes)
+    return SearchReport(
+        algorithm="candidate_transport",
+        num_ranks=num_ranks,
+        hits=hits,
+        candidates_evaluated=candidates,
+        virtual_time=summary.makespan,
+        trace=summary,
+        peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
+        extras={
+            "generation_fraction_saved": GENERATION_FRACTION,
+            "residual_to_compute": summary.mean_residual_to_compute,
+        },
+    )

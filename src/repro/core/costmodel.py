@@ -1,0 +1,128 @@
+"""The virtual-time cost model.
+
+The simulated machine executes application work for real but charges
+*modeled* seconds, following the paper's own complexity accounting
+(Section II.B)::
+
+    O( (N + m)/p  +  m/p * r * (rho + tau)  +  n )
+       loading       query processing          amortized fetch
+
+``rho`` — "the constant time it takes to compare each query against each
+candidate" — is the dominant constant.  The default values below were
+calibrated so a 1-rank run of the microbial workload lands in the regime
+of the paper's Table II (e.g. ~36 s for the 1K-sequence database, and a
+candidate evaluation rate near Table III's ~41K candidates/s on 8
+ranks), with the likelihood scorer's ``relative_cost`` folding in the
+paper's expensive-statistics argument.
+
+Calibration against *this* host is available through
+:mod:`repro.analysis.calibration`, which times the real scoring kernel
+and fits ``rho_base``; the defaults stay paper-scaled so that tables
+regenerate in the paper's units out of the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scoring.base import Scorer
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants mapping work counts to virtual seconds.
+
+    Attributes:
+        rho_base: seconds per candidate evaluation for a scorer with
+            ``relative_cost == 1`` (candidate generation + comparison).
+            The paper's effective rho for MSPolygraph's likelihood model
+            is ``rho_base * LikelihoodRatioScorer.relative_cost``.
+        tau_cost: seconds per candidate for maintaining the running
+            top-tau hit list (the paper's separate ``tau`` term).
+        scan_per_byte: per-byte cost of streaming a shard while
+            generating candidates on the fly (one pass per local query
+            batch per shard), the O(N/p)-per-iteration term.
+        load_per_byte: input loading cost (NFS-mounted file system in the
+            paper's cluster).
+        query_load_cost: per-query parsing/preprocessing cost at load.
+        query_overhead: per-query bookkeeping per shard iteration
+            (window binary searches, buffers).
+        report_per_hit: per-reported-hit output cost (the m/p * tau
+            reporting term).
+        sort_per_key: per-key local work in the counting sort (building
+            the local count array and scattering sequences).
+        reduce_per_key: per-key per-peer software cost of the naive
+            count-array reduction, charged (p - 1) times — Algorithm B's
+            measured sorting overhead grows steeply with p in the paper
+            (Table IV), and this term reproduces that growth.
+        iteration_overhead: unmaskable per-rotation-step CPU cost
+            (window fence, request management, MPI software stack).
+            Charged once per shard iteration; with p iterations this is
+            the O(lambda * p)-flavoured overhead that makes *small*
+            inputs stop scaling past ~8 ranks and eventually slow down
+            (paper Table II, 1K row at p = 128).
+        metadata_bytes_per_sequence: in-memory overhead per database
+            sequence beyond raw residues (headers, C structs, alignment,
+            precomputed per-sequence data).  The default of 520 bytes is
+            the single constant that makes *both* of the paper's memory
+            observations come out: a replicated-database rank at 1 GB
+            holds at most ~1.29 M sequences of avg length 314 (the paper
+            crashed past 1.27 M), and Algorithm A's three O(N/p) buffers
+            admit ~430 K sequences per added rank (the paper: ~420 K).
+    """
+
+    rho_base: float = 24e-6
+    tau_cost: float = 1e-6
+    scan_per_byte: float = 4e-9
+    load_per_byte: float = 2e-8
+    query_load_cost: float = 1e-4
+    query_overhead: float = 2e-4
+    report_per_hit: float = 5e-6
+    sort_per_key: float = 1.5e-8
+    reduce_per_key: float = 6e-8
+    iteration_overhead: float = 4e-3
+    metadata_bytes_per_sequence: int = 520
+
+    def rho(self, scorer: Scorer) -> float:
+        """Effective per-candidate evaluation cost for a scorer."""
+        return self.rho_base * scorer.relative_cost
+
+    def evaluation_time(self, candidates: int, scorer: Scorer) -> float:
+        """Query-processing time for ``candidates`` evaluations: r*(rho+tau)."""
+        if candidates < 0:
+            raise ValueError(f"candidates must be >= 0, got {candidates}")
+        return candidates * (self.rho(scorer) + self.tau_cost)
+
+    def scan_time(self, shard_bytes: int) -> float:
+        return self.scan_per_byte * shard_bytes
+
+    def load_time(self, shard_bytes: int, num_queries: int) -> float:
+        return self.load_per_byte * shard_bytes + self.query_load_cost * num_queries
+
+    def report_time(self, num_hits: int) -> float:
+        return self.report_per_hit * num_hits
+
+    def local_sort_time(self, num_keys: int, key_space: int) -> float:
+        """Local counting-sort work: count + scatter over the key space."""
+        return self.sort_per_key * (num_keys + key_space)
+
+    def count_reduce_time(self, p: int, key_space: int) -> float:
+        """Software cost of the global count-array reduction at p ranks."""
+        if p <= 1:
+            return 0.0
+        return self.reduce_per_key * (p - 1) * key_space
+
+    def database_bytes(self, num_sequences: int, num_residues: int) -> int:
+        """Simulated in-memory footprint of a (sub-)database.
+
+        Residue bytes plus per-sequence metadata; this — not our Python
+        objects' actual size — is what rank memory accounting charges,
+        because the space claims under test are about the paper's C data
+        structures, not about our vectorized index (which is a
+        real-execution accelerator the simulated machine never holds).
+        """
+        return int(num_residues + self.metadata_bytes_per_sequence * num_sequences)
+
+    def shard_bytes(self, shard) -> int:
+        """:meth:`database_bytes` of a ProteinDatabase-like shard."""
+        return self.database_bytes(len(shard), shard.total_residues)

@@ -1,0 +1,123 @@
+"""run_search: the single entry point over every engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.algorithm_a import run_algorithm_a
+from repro.core.algorithm_b import run_algorithm_b
+from repro.core.config import SearchConfig
+from repro.core.master_worker import run_master_worker
+from repro.core.results import SearchReport
+from repro.core.search import search_serial
+from repro.core.xbang import run_xbang
+from repro.core.query_transport import run_query_transport
+from repro.core.candidate_transport import run_candidate_transport
+from repro.core.subgroups import run_subgroups
+from repro.errors import ConfigError
+from repro.simmpi.scheduler import ClusterConfig
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+
+
+def _serial_adapter(db, queries, num_ranks, config, cluster_config, library):
+    if num_ranks != 1:
+        raise ConfigError(f"serial engine requires num_ranks == 1, got {num_ranks}")
+    return search_serial(db, queries, config or SearchConfig(), library=library)
+
+
+def _algorithm_a(db, queries, num_ranks, config, cluster_config, library):
+    return run_algorithm_a(
+        db, queries, num_ranks, config, mask=True, cluster_config=cluster_config, library=library
+    )
+
+
+def _algorithm_a_nomask(db, queries, num_ranks, config, cluster_config, library):
+    return run_algorithm_a(
+        db, queries, num_ranks, config, mask=False, cluster_config=cluster_config, library=library
+    )
+
+
+def _algorithm_b(db, queries, num_ranks, config, cluster_config, library):
+    return run_algorithm_b(
+        db, queries, num_ranks, config, mask=True, cluster_config=cluster_config, library=library
+    )
+
+
+def _master_worker(db, queries, num_ranks, config, cluster_config, library):
+    return run_master_worker(
+        db, queries, num_ranks, config, cluster_config=cluster_config, library=library
+    )
+
+
+def _xbang(db, queries, num_ranks, config, cluster_config, library):
+    return run_xbang(db, queries, num_ranks, config, cluster_config=cluster_config)
+
+
+def _query_transport(db, queries, num_ranks, config, cluster_config, library):
+    return run_query_transport(
+        db, queries, num_ranks, config, cluster_config=cluster_config, library=library
+    )
+
+
+def _candidate_transport(db, queries, num_ranks, config, cluster_config, library):
+    return run_candidate_transport(
+        db, queries, num_ranks, config, cluster_config=cluster_config, library=library
+    )
+
+
+def _subgroups2(db, queries, num_ranks, config, cluster_config, library):
+    return run_subgroups(
+        db, queries, num_ranks, 2, config, cluster_config=cluster_config, library=library
+    )
+
+
+#: registry of engines by name
+ALGORITHMS: Dict[str, Callable[..., SearchReport]] = {
+    "serial": _serial_adapter,
+    "algorithm_a": _algorithm_a,
+    "algorithm_a_nomask": _algorithm_a_nomask,
+    "algorithm_b": _algorithm_b,
+    "master_worker": _master_worker,
+    "xbang": _xbang,
+    "query_transport": _query_transport,
+    "candidate_transport": _candidate_transport,
+    "subgroups_g2": _subgroups2,
+}
+
+
+def run_search(
+    database: ProteinDatabase,
+    queries: Sequence[Spectrum],
+    algorithm: str = "algorithm_a",
+    num_ranks: int = 1,
+    config: Optional[SearchConfig] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    library: Optional[SpectralLibrary] = None,
+) -> SearchReport:
+    """Run a peptide-identification search with the named engine.
+
+    Args:
+        database: the protein database D.
+        queries: experimental spectra Q.
+        algorithm: one of ``ALGORITHMS`` ("serial", "algorithm_a",
+            "algorithm_a_nomask", "algorithm_b", "master_worker",
+            "xbang").
+        num_ranks: simulated processor count p.
+        config: search parameters (delta, tau, scorer, execution mode).
+        cluster_config: simulated machine (RAM cap, network constants).
+        library: optional spectral library for the likelihood scorer.
+
+    Returns:
+        a :class:`~repro.core.results.SearchReport`.
+    """
+    try:
+        engine = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    if num_ranks < 1:
+        raise ConfigError(f"num_ranks must be >= 1, got {num_ranks}")
+    return engine(database, queries, num_ranks, config, cluster_config, library)

@@ -1,0 +1,138 @@
+"""Query-transport model — the design alternative the paper rejected.
+
+Section II.B weighs two options when a query on rank ``P_i`` needs a
+database sequence resident on ``P_j``:
+
+  i)  database transport (chosen; Algorithms A and B), or
+  ii) "(Query transport) Communicate the query from P_i to P_j for
+      remote query processing.  The query transport model can help,
+      especially since m is expected to be much smaller than n.
+      However, the challenge with such a scheme is that a query can get
+      processed in multiple processor locations, and the results have to
+      be sent to one root processor for merging."
+
+We implement it so the trade-off is measurable instead of argued:
+
+* every rank keeps ONLY its own shard (no rotation — zero database
+  bytes ever move);
+* each rank broadcasts its local query block to all peers (m is small:
+  this is the cheap transfer);
+* every rank scores every query block against its local shard;
+* per-query partial top-tau lists are sent back to the query's owner,
+  which performs the serializing merge the paper warned about.
+
+Output is identical to the serial engine (asserted in tests): the same
+(query, candidate) pairs are scored, only placement changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import SearchConfig
+from repro.core.partition import partition_database, partition_queries
+from repro.core.results import SearchReport, merge_rank_hits
+from repro.core.search import ShardSearcher
+from repro.scoring.hits import Hit, TopHitList, merge_hit_lists
+from repro.simmpi.comm import SimComm
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+
+_HIT_BYTES = 48
+
+
+def _rank_program(
+    comm: SimComm,
+    searchers: Sequence[ShardSearcher],
+    query_blocks: Sequence[List[Spectrum]],
+    config: SearchConfig,
+):
+    p, i = comm.size, comm.rank
+    cost = config.cost
+    searcher = searchers[i]
+    my_queries = query_blocks[i]
+
+    comm.alloc("Di", cost.shard_bytes(searcher.shard))
+    comm.alloc("Qi", sum(q.nbytes for q in my_queries))
+    comm.compute(cost.load_time(cost.shard_bytes(searcher.shard), len(my_queries)))
+
+    # Expose the query block; peers Get it (queries are tiny, this is
+    # the point of the model).
+    q_bytes = sum(q.nbytes for q in my_queries)
+    comm.expose("Qi", my_queries, q_bytes)
+    yield comm.barrier_op()
+
+    # Score EVERY rank's query block against the local shard.
+    candidates = 0
+    partial: Dict[int, Dict[int, List[Hit]]] = {}  # owner -> qid -> hits
+    for owner in range(p):
+        if owner == i:
+            batch = my_queries
+        else:
+            req = comm.iget(owner, "Qi")
+            batch = comm.wait(req)
+        hitlists: Dict[int, TopHitList] = {}
+        stats = searcher.search(batch, hitlists)
+        candidates += stats.candidates_evaluated
+        comm.compute(
+            cost.scan_time(searcher.shard.nbytes)
+            + cost.evaluation_time(stats.candidates_evaluated, searcher.scorer)
+            + cost.query_overhead * len(batch)
+        )
+        partial[owner] = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+
+    # Send partial results to each query's owner (the serializing step).
+    for owner in range(p):
+        if owner == i:
+            continue
+        hits = partial[owner]
+        nhits = sum(len(h) for h in hits.values())
+        comm.send(owner, hits, _HIT_BYTES * max(nhits, 1))
+
+    # Root-side merge: collect p - 1 partials for the local block.
+    collected = [partial[i]]
+    for _ in range(p - 1):
+        _src, payload = yield comm.recv_op()
+        collected.append(payload)
+    merged: Dict[int, List[Hit]] = {}
+    for q in my_queries:
+        per_shard = [c.get(q.query_id, []) for c in collected]
+        merged[q.query_id] = merge_hit_lists(per_shard, config.tau)
+        comm.compute(cost.tau_cost * sum(len(h) for h in per_shard))
+    comm.compute(cost.report_time(sum(len(h) for h in merged.values())))
+    return merged, candidates
+
+
+def run_query_transport(
+    database: ProteinDatabase,
+    queries: Sequence[Spectrum],
+    num_ranks: int,
+    config: Optional[SearchConfig] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    library: Optional[SpectralLibrary] = None,
+) -> SearchReport:
+    """Run the query-transport model."""
+    config = config or SearchConfig()
+    cluster_config = cluster_config or ClusterConfig(num_ranks=num_ranks)
+    shards = partition_database(database, num_ranks)
+    searchers = [ShardSearcher(s, config, library=library) for s in shards]
+    query_blocks = partition_queries(queries, num_ranks)
+
+    cluster = SimCluster(cluster_config)
+    args = {r: (searchers, query_blocks, config) for r in range(num_ranks)}
+    outcomes, summary = cluster.run(_rank_program, args)
+
+    hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
+    candidates = sum(o.value[1] for o in outcomes)
+    return SearchReport(
+        algorithm="query_transport",
+        num_ranks=num_ranks,
+        hits=hits,
+        candidates_evaluated=candidates,
+        virtual_time=summary.makespan,
+        trace=summary,
+        peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
+        extras={"residual_to_compute": summary.mean_residual_to_compute},
+    )

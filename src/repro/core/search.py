@@ -1,0 +1,203 @@
+"""The shared per-shard search kernel.
+
+Every algorithm in this library — serial reference, master-worker
+baseline, Algorithms A and B, the X!!Tandem-like prefilter engine — runs
+queries against database shards through :class:`ShardSearcher`.  Keeping
+one kernel guarantees the paper's validation property by construction:
+whatever order shards and queries are processed in, the same (query,
+candidate) pairs receive the same scores, and the deterministic top-tau
+list makes the final output order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.candidates.generator import CandidateGenerator
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.scoring.base import Scorer
+from repro.scoring.hits import Hit, TopHitList
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+
+
+@dataclass
+class ShardStats:
+    """Work counters from searching one shard (feeds the cost model)."""
+
+    candidates_evaluated: int = 0
+    queries_processed: int = 0
+
+    def merge(self, other: "ShardStats") -> None:
+        self.candidates_evaluated += other.candidates_evaluated
+        self.queries_processed += other.queries_processed
+
+
+class ShardSearcher:
+    """Searches queries against one database shard.
+
+    Construction builds the shard's mass index (the real-execution
+    analogue of the paper's on-the-fly candidate generation); ``search``
+    then evaluates candidates for any number of queries.  A searcher is
+    immutable with respect to its shard and may be reused across
+    iterations and algorithms.
+    """
+
+    def __init__(
+        self,
+        shard: ProteinDatabase,
+        config: SearchConfig,
+        scorer: Optional[Scorer] = None,
+        library: Optional[SpectralLibrary] = None,
+    ):
+        self.shard = shard
+        self.config = config
+        self.scorer = scorer if scorer is not None else config.make_scorer(library)
+        self.generator = CandidateGenerator(shard, config.delta, config.modifications)
+        # PTM-aware scoring: map each variable mod's delta to its target
+        # residue code so modified candidates can be scored per site.
+        self._mod_targets = {
+            mod.delta_mass: ord(mod.target) for mod in self.generator.modifications
+        }
+
+    @property
+    def nbytes(self) -> int:
+        """Shard + index memory, for rank RAM accounting."""
+        return self.shard.nbytes + self.generator.nbytes
+
+    def search(
+        self, queries: Iterable[Spectrum], hitlists: Dict[int, TopHitList]
+    ) -> ShardStats:
+        """Score every candidate of every query; fold hits into ``hitlists``.
+
+        Missing hit lists are created with the config's tau.  In MODELED
+        execution, candidates are counted (exactly) but not scored and no
+        hits are recorded.
+        """
+        stats = ShardStats()
+        cfg = self.config
+        modeled = cfg.execution is ExecutionMode.MODELED
+        min_len = cfg.min_candidate_length
+        for spectrum in queries:
+            stats.queries_processed += 1
+            hitlist = hitlists.get(spectrum.query_id)
+            if hitlist is None:
+                hitlist = hitlists[spectrum.query_id] = TopHitList(cfg.tau)
+            if modeled:
+                count = self.count_for(spectrum)
+                stats.candidates_evaluated += count
+                hitlist.evaluated += count
+                continue
+            spans = self.generator.candidates(spectrum)
+            long_enough = (spans.stop - spans.start) >= min_len
+            stats.candidates_evaluated += len(spans)
+            shard_ids = self.shard.ids
+            offsets = self.shard.offsets
+            residues = self.shard.residues
+            for i in range(len(spans)):
+                if not long_enough[i]:
+                    hitlist.evaluated += 1
+                    continue
+                seq_idx = int(spans.seq_index[i])
+                start = int(spans.start[i])
+                stop = int(spans.stop[i])
+                base = int(offsets[seq_idx])
+                candidate = residues[base + start : base + stop]
+                mod_delta = float(spans.mod_delta[i])
+                if mod_delta != 0.0:
+                    score = self._score_modified(spectrum, candidate, mod_delta)
+                else:
+                    score = self.scorer.score(spectrum, candidate)
+                if cfg.score_cutoff is not None and score < cfg.score_cutoff:
+                    hitlist.evaluated += 1
+                    continue
+                hitlist.add(
+                    Hit(
+                        query_id=spectrum.query_id,
+                        score=score,
+                        protein_id=int(shard_ids[seq_idx]),
+                        start=start,
+                        stop=stop,
+                        mass=float(spans.mass[i]),
+                        mod_delta=float(spans.mod_delta[i]),
+                    )
+                )
+        return stats
+
+    def _score_modified(
+        self, spectrum: Spectrum, candidate: np.ndarray, mod_delta: float
+    ) -> float:
+        """Best score over every admissible modification site.
+
+        The true site is unknown (the paper: variants must be generated
+        "to account for the various modifications"), so every occurrence
+        of the target residue is evaluated and the best interpretation
+        wins — deterministic because the maximum over a fixed site order
+        is order-free.
+        """
+        target = self._mod_targets.get(mod_delta)
+        if target is None:  # unknown delta: fall back to unmodified model
+            return self.scorer.score(spectrum, candidate)
+        sites = np.nonzero(candidate == target)[0]
+        if len(sites) == 0:
+            return self.scorer.score(spectrum, candidate)
+        return max(
+            self.scorer.score_modified(spectrum, candidate, int(site), mod_delta)
+            for site in sites
+        )
+
+    def count_for(self, spectrum: Spectrum) -> int:
+        """Exact candidate count for one query (PTM tiers included)."""
+        if self.config.modifications:
+            return self.generator.count(spectrum)
+        return int(self.generator.count_unmodified_many(np.array([spectrum.parent_mass]))[0])
+
+    def count_batch(self, queries: Sequence[Spectrum]) -> int:
+        """Vectorized total candidate count for a query batch (no PTMs path)."""
+        if not queries:
+            return 0
+        if self.config.modifications:
+            return sum(self.generator.count(q) for q in queries)
+        masses = np.array([q.parent_mass for q in queries])
+        return int(self.generator.count_unmodified_many(masses).sum())
+
+
+def search_serial(
+    database: ProteinDatabase,
+    queries: Sequence[Spectrum],
+    config: SearchConfig,
+    library: Optional[SpectralLibrary] = None,
+) -> "SearchReport":
+    """Reference serial search: one processor, whole database.
+
+    This is the ground truth for the paper's validation experiment and
+    the p = 1 baseline for real-speedup numbers (the paper: "any run of
+    our Algorithm A at p = 1 is equivalent to the uni-worker processor
+    run of MSPolygraph").
+    """
+    from repro.core.results import SearchReport  # deferred: results imports Hit types
+
+    searcher = ShardSearcher(database, config, library=library)
+    hitlists: Dict[int, TopHitList] = {}
+    stats = searcher.search(queries, hitlists)
+    cost = config.cost
+    virtual = (
+        cost.load_time(database.nbytes, len(queries))
+        + cost.scan_time(database.nbytes)
+        + cost.evaluation_time(stats.candidates_evaluated, searcher.scorer)
+        + cost.query_overhead * len(queries)
+        + cost.report_time(sum(min(len(h), config.tau) for h in hitlists.values()))
+    )
+    hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+    return SearchReport(
+        algorithm="serial",
+        num_ranks=1,
+        hits=hits,
+        candidates_evaluated=stats.candidates_evaluated,
+        virtual_time=virtual,
+        peak_memory={0: cost.shard_bytes(database) + sum(q.nbytes for q in queries)},
+    )

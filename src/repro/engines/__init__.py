@@ -1,0 +1,5 @@
+"""Execution engines beyond the simulated cluster."""
+
+from repro.engines.multiproc import run_multiprocess_search
+
+__all__ = ["run_multiprocess_search"]

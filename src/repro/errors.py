@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  The memory-related errors exist because a core
+claim of the paper is *space optimality*: the replicated-database baseline
+must fail (out of memory) on inputs the distributed algorithms handle, and
+we surface that as a typed exception rather than a crash.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class InvalidSequenceError(ReproError, ValueError):
+    """A protein/peptide string contains characters outside the residue alphabet."""
+
+
+class SpectrumError(ReproError, ValueError):
+    """A spectrum is malformed (unsorted m/z, negative intensity, ...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A search or machine configuration is inconsistent."""
+
+
+class OutOfMemoryError(ReproError, MemoryError):
+    """A simulated rank exceeded its memory budget.
+
+    Raised by :class:`repro.simmpi.memory.MemoryTracker` when an
+    allocation would push a rank past its configured RAM cap (the paper
+    uses 1 GB per MPI process).  This is how the O(N)-space baseline
+    "crashes out of memory" in our reproduction of the paper's Section I
+    observation.
+    """
+
+    def __init__(self, rank: int, requested: int, in_use: int, limit: int):
+        self.rank = rank
+        self.requested = requested
+        self.in_use = in_use
+        self.limit = limit
+        super().__init__(
+            f"rank {rank}: allocation of {requested} B would exceed memory "
+            f"limit ({in_use} B in use of {limit} B)"
+        )
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """Invalid use of the simulated communication API (bad rank, unposted window, ...)."""
+
+
+class DeadlockError(ReproError, RuntimeError):
+    """The simulated machine made no progress while ranks were still blocked."""

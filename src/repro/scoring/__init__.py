@@ -1,0 +1,40 @@
+"""Statistical scoring models and hit bookkeeping."""
+
+from repro.scoring.base import Scorer
+from repro.scoring.hits import Hit, TopHitList, merge_hit_lists
+from repro.scoring.shared_peaks import SharedPeakScorer
+from repro.scoring.likelihood import LikelihoodRatioScorer
+from repro.scoring.hypergeometric import HypergeometricScorer
+from repro.scoring.hyperscore import HyperScorer
+from repro.scoring.xcorr import XCorrScorer
+from repro.scoring.registry import make_scorer, SCORER_NAMES
+from repro.scoring.evalue import SurvivalFit, expect_value, fit_survival
+from repro.scoring.statistics import (
+    ScoredIdentification,
+    accepted_at_fdr,
+    fdr_curve,
+    score_threshold_at_fdr,
+    top_hits_with_labels,
+)
+
+__all__ = [
+    "Scorer",
+    "Hit",
+    "TopHitList",
+    "merge_hit_lists",
+    "SharedPeakScorer",
+    "LikelihoodRatioScorer",
+    "HyperScorer",
+    "HypergeometricScorer",
+    "XCorrScorer",
+    "make_scorer",
+    "SCORER_NAMES",
+    "ScoredIdentification",
+    "accepted_at_fdr",
+    "fdr_curve",
+    "score_threshold_at_fdr",
+    "top_hits_with_labels",
+    "SurvivalFit",
+    "expect_value",
+    "fit_survival",
+]

@@ -1,0 +1,57 @@
+"""The Scorer protocol shared by all statistical models.
+
+A scorer maps ``(experimental spectrum, candidate peptide)`` to a single
+real number where larger means a better match.  The paper's quality
+argument (Section I.A) contrasts *cheap* models (X!!Tandem's "fairly
+simple, fast statistical model") with *expensive, accurate* ones
+(MSPolygraph's likelihood models); we expose both behind one interface so
+every search algorithm can run with either, and so the cost model can
+attribute a per-candidate compute cost ``rho`` that differs by scorer.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.spectra.spectrum import Spectrum
+
+
+@runtime_checkable
+class Scorer(Protocol):
+    """Protocol for match scorers.
+
+    Attributes:
+        name: stable identifier used in configs and reports.
+        relative_cost: approximate cost of one candidate evaluation
+            relative to the shared-peak-count scorer (1.0).  The virtual
+            time model multiplies this into the calibrated per-candidate
+            cost ``rho``, so switching to a heavier model slows simulated
+            runs exactly as the paper argues it slows real ones.
+    """
+
+    name: str
+    relative_cost: float
+
+    def score(self, spectrum: Spectrum, candidate: np.ndarray) -> float:
+        """Score an encoded candidate peptide against a spectrum.
+
+        Must be deterministic and side-effect free: the paper's
+        validation experiment requires parallel runs to reproduce the
+        serial engine's output exactly, whatever the order in which
+        candidates are evaluated.
+        """
+        ...
+
+    def score_modified(
+        self, spectrum: Spectrum, candidate: np.ndarray, site: int, delta_mass: float
+    ) -> float:
+        """Score a candidate carrying a variable PTM at ``site``.
+
+        The fragment model must shift every ion containing the modified
+        residue by ``delta_mass``.  The search kernel evaluates every
+        admissible site and keeps the best, so this too must be
+        deterministic.
+        """
+        ...

@@ -1,0 +1,86 @@
+"""Expectation values from a query's own score distribution.
+
+Complementary to target-decoy FDR (:mod:`repro.scoring.statistics`),
+the X!Tandem-family *expect value* needs no decoy database: for one
+query, the scores of its (overwhelmingly incorrect) candidates form an
+empirical null; the high-score tail is fit by a survival function
+``log10 S(x) ~ a - b*x`` (hyperscore tails are near-exponential), and a
+top hit's e-value is the expected number of candidates at or above its
+score::
+
+    E(x) = n_candidates * S(x)
+
+An identification with ``E << 1`` is unlikely to be a chance match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurvivalFit:
+    """Linear fit of the log10 survival function of candidate scores."""
+
+    slope: float  #: b (per score unit); > 0 for a decaying tail
+    intercept: float  #: a
+    n_candidates: int
+    fit_points: int
+
+    def log10_survival(self, score: float) -> float:
+        return self.intercept - self.slope * score
+
+    def expect(self, score: float) -> float:
+        """E-value for a hit scoring ``score``."""
+        return float(self.n_candidates * 10.0 ** self.log10_survival(score))
+
+
+def fit_survival(
+    scores: Sequence[float],
+    tail_fraction: float = 0.5,
+    min_points: int = 8,
+) -> SurvivalFit:
+    """Fit the high-score tail of a query's candidate score distribution.
+
+    Args:
+        scores: all candidate scores for one query (finite values only
+            are used; -inf "no match" scores are common and dropped).
+        tail_fraction: fraction of the (finite) distribution, from the
+            top, used for the linear fit.
+        min_points: minimum distinct points required; below this the
+            distribution is too thin to extrapolate and ValueError is
+            raised (callers fall back to reporting no e-value).
+    """
+    finite = np.asarray([s for s in scores if np.isfinite(s)], dtype=np.float64)
+    if not 0 < tail_fraction <= 1:
+        raise ValueError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    if len(finite) < min_points:
+        raise ValueError(
+            f"need >= {min_points} finite scores to fit a survival tail, got {len(finite)}"
+        )
+    order = np.sort(finite)
+    n = len(order)
+    # survival: S(order[i]) = (n - i) / n ; use the top tail_fraction
+    start = int(np.floor(n * (1.0 - tail_fraction)))
+    start = min(start, n - min_points)
+    xs = order[start:]
+    survival = (n - np.arange(start, n)) / n
+    ys = np.log10(survival)
+    # collapse duplicate scores (equal x values break nothing but add weight)
+    slope, intercept = np.polyfit(xs, ys, 1)
+    if slope >= 0:
+        # a non-decaying tail means the null model is useless; report a
+        # flat (uninformative) fit rather than negative e-values
+        slope, intercept = 0.0, 0.0
+    return SurvivalFit(
+        slope=float(-slope), intercept=float(intercept), n_candidates=n, fit_points=n - start
+    )
+
+
+def expect_value(top_score: float, candidate_scores: Sequence[float]) -> float:
+    """Convenience: fit the tail and return the top hit's e-value."""
+    fit = fit_survival(candidate_scores)
+    return fit.expect(top_score)

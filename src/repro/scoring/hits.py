@@ -1,0 +1,132 @@
+"""Hit records and the bounded top-tau hit list.
+
+"Each worker ... report[s] at most tau hits per query" and every
+algorithm "keeps a separate running list of the tau topmost hits for
+every query" (paper Sections II.A and II.B).  :class:`TopHitList` is that
+running list: a bounded min-heap with a *deterministic total order*, so
+that the same candidate set always yields the same tau hits regardless of
+evaluation order — the property the paper's validation experiment
+(parallel output == serial output) rests on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=False)
+class Hit:
+    """One candidate match reported for a query.
+
+    Candidates are prefixes or suffixes of database sequences (paper
+    Section II.A), so a hit is identified by the parent sequence's global
+    id plus the residue span ``[start, stop)`` within it.  ``mod_delta``
+    carries the total variable-PTM mass applied, 0.0 for unmodified.
+
+    ``mass`` is informational and excluded from equality: span masses are
+    computed from per-shard cumulative sums, so the same span reached via
+    different database partitionings can differ in the last float bits.
+    Scores do not share this caveat — they are recomputed from the raw
+    residues and are bitwise partition-independent.
+    """
+
+    query_id: int
+    score: float
+    protein_id: int
+    start: int
+    stop: int
+    mass: float = field(compare=False)
+    mod_delta: float = 0.0
+
+    def sort_key(self) -> Tuple[float, int, int, int, float]:
+        """Total order: higher score first, then stable structural tie-break."""
+        return (-self.score, self.protein_id, self.start, self.stop, self.mod_delta)
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+class TopHitList:
+    """Bounded container keeping the tau best hits for one query.
+
+    ``add`` is O(log tau); ``sorted_hits`` is O(tau log tau).  Ties at the
+    cutoff are resolved by :meth:`Hit.sort_key`, never by insertion
+    order.
+    """
+
+    __slots__ = ("tau", "_heap", "_counter", "evaluated")
+
+    def __init__(self, tau: int):
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        self.tau = tau
+        # heap entries are (neg_sort_key_inverted,) — we need a *min*-heap
+        # whose root is the currently-worst retained hit, so we store
+        # inverted keys: tuples that compare smaller for worse hits.
+        self._heap: List[Tuple[Tuple, Hit]] = []
+        self.evaluated = 0  #: total candidates offered (for candidates/sec metrics)
+
+    @staticmethod
+    def _heap_key(hit: Hit) -> Tuple:
+        # Min-heap must evict the *worst* hit, so the root must be the
+        # worst => key orders "worse" < "better".  Worse = lower score,
+        # then *larger* structural tie-break fields (sort_key ascending
+        # means better, so negate its ordering elementwise).
+        k = hit.sort_key()
+        return (-k[0], -k[1], -k[2], -k[3], -k[4])
+
+    def add(self, hit: Hit) -> bool:
+        """Offer a hit; returns True if retained in the top tau."""
+        self.evaluated += 1
+        key = self._heap_key(hit)
+        if len(self._heap) < self.tau:
+            heapq.heappush(self._heap, (key, hit))
+            return True
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (key, hit))
+            return True
+        return False
+
+    def would_retain(self, score: float) -> bool:
+        """Cheap pre-check: could any hit with this score enter the list?
+
+        Used to skip building Hit objects for hopeless candidates; ties
+        must still go through :meth:`add` for deterministic resolution,
+        so this returns True on equality.
+        """
+        if len(self._heap) < self.tau:
+            return True
+        return score >= self._heap[0][1].score
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def sorted_hits(self) -> List[Hit]:
+        """Retained hits, best first, deterministic order."""
+        return sorted((h for _k, h in self._heap), key=Hit.sort_key)
+
+    def merge(self, other: "TopHitList") -> None:
+        """Fold another list's hits into this one (keeps max of tau)."""
+        if other.tau != self.tau:
+            raise ValueError(f"tau mismatch: {self.tau} vs {other.tau}")
+        evaluated = self.evaluated + other.evaluated
+        for _k, hit in other._heap:
+            self.add(hit)
+        self.evaluated = evaluated  # merging is not re-evaluating
+
+
+def merge_hit_lists(lists: Iterable[Sequence[Hit]], tau: int) -> List[Hit]:
+    """Merge per-shard hit lists for one query into the global top tau.
+
+    Deterministic regardless of input order; used when the same query was
+    scored against different database shards (every parallel algorithm)
+    and by the query-transport design alternative the paper discusses.
+    """
+    merged = TopHitList(tau)
+    for hits in lists:
+        for hit in hits:
+            merged.add(hit)
+    return merged.sorted_hits()

@@ -1,0 +1,69 @@
+"""Hypergeometric probability scorer.
+
+The study behind MSPolygraph (Cannon et al. 2005, the paper's reference
+[5]) compared *probability* models against *likelihood* models for
+peptide identification.  This is the classic probability model: treat
+the spectrum's m/z axis as ``B`` tolerance-sized bins of which ``b`` are
+occupied by observed peaks; a candidate with ``F`` fragments matching
+``k`` of them scores the hypergeometric tail probability
+
+    P(X >= k),  X ~ Hypergeometric(B, b, F)
+
+— the chance a random candidate would match at least as well.  Reported
+as ``-log10 P`` so larger is better, like every other scorer here.
+
+Including it lets the library reproduce the *model comparison* that
+justified MSPolygraph's likelihood approach (see
+``benchmarks/bench_models.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.spectra.binning import count_matches
+from repro.spectra.spectrum import Spectrum
+from repro.spectra.theoretical import by_ion_ladder, modified_by_ion_ladder
+
+
+class HypergeometricScorer:
+    """-log10 hypergeometric tail probability of the shared peak count."""
+
+    name = "hypergeometric"
+    relative_cost = 4.0
+
+    def __init__(self, fragment_tolerance: float = 0.5, mz_range: float = 2000.0):
+        if fragment_tolerance <= 0:
+            raise ValueError(f"fragment_tolerance must be > 0, got {fragment_tolerance}")
+        if mz_range <= 0:
+            raise ValueError(f"mz_range must be > 0, got {mz_range}")
+        self.fragment_tolerance = fragment_tolerance
+        self.mz_range = mz_range
+
+    def _score_ladder(self, spectrum: Spectrum, ladder: np.ndarray) -> float:
+        if spectrum.num_peaks == 0 or len(ladder) == 0:
+            return -math.inf
+        # bins on the observed m/z axis
+        span = max(float(spectrum.mz[-1] - spectrum.mz[0]), self.mz_range)
+        total_bins = max(int(span / (2.0 * self.fragment_tolerance)), 1)
+        occupied = min(spectrum.num_peaks, total_bins)
+        draws = min(len(ladder), total_bins)
+        matched = count_matches(ladder, np.ascontiguousarray(spectrum.mz), self.fragment_tolerance)
+        matched = min(matched, draws, occupied)
+        # P(X >= matched) with X ~ Hypergeom(M=total_bins, n=occupied, N=draws)
+        tail = stats.hypergeom.sf(matched - 1, total_bins, occupied, draws)
+        tail = max(float(tail), 1e-300)
+        return -math.log10(tail)
+
+    def score(self, spectrum: Spectrum, candidate: np.ndarray) -> float:
+        return self._score_ladder(spectrum, by_ion_ladder(candidate))
+
+    def score_modified(
+        self, spectrum: Spectrum, candidate: np.ndarray, site: int, delta_mass: float
+    ) -> float:
+        return self._score_ladder(
+            spectrum, modified_by_ion_ladder(candidate, site, delta_mass)
+        )

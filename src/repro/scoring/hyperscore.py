@@ -1,0 +1,64 @@
+"""X!Tandem-style hyperscore — the "fast, simple" model.
+
+X!!Tandem's speed (paper Section I.A: 2.65 M peptides against 1,210
+spectra in under 2 minutes on 8 processors) comes from a cheap dot-product
+score.  The hyperscore is::
+
+    hyperscore = (sum of matched peak intensities) * Nb! * Ny!
+
+reported in log form.  We count b- and y-series matches separately and
+apply Stirling-exact ``lgamma`` factorials, as X!Tandem does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.spectra.binning import matched_intensity
+from repro.spectra.spectrum import Spectrum
+from repro.spectra.theoretical import IonSeries, fragment_mz
+
+
+class HyperScorer:
+    """log10 hyperscore over singly-charged b and y series."""
+
+    name = "hyperscore"
+    relative_cost = 1.5
+
+    def __init__(self, fragment_tolerance: float = 0.5):
+        if fragment_tolerance <= 0:
+            raise ValueError(f"fragment_tolerance must be > 0, got {fragment_tolerance}")
+        self.fragment_tolerance = fragment_tolerance
+
+    def score(self, spectrum: Spectrum, candidate: np.ndarray) -> float:
+        return self._score(spectrum, candidate, -1, 0.0)
+
+    def score_modified(
+        self, spectrum: Spectrum, candidate: np.ndarray, site: int, delta_mass: float
+    ) -> float:
+        return self._score(spectrum, candidate, site, delta_mass)
+
+    def _score(
+        self, spectrum: Spectrum, candidate: np.ndarray, site: int, delta: float
+    ) -> float:
+        if spectrum.num_peaks == 0:
+            return -math.inf
+        mz = np.ascontiguousarray(spectrum.mz)
+        intensity = np.ascontiguousarray(spectrum.intensity)
+        nb, b_int = matched_intensity(
+            mz, intensity,
+            fragment_mz(candidate, IonSeries.B, mod_site=site, mod_delta=delta),
+            self.fragment_tolerance,
+        )
+        ny, y_int = matched_intensity(
+            mz, intensity,
+            fragment_mz(candidate, IonSeries.Y, mod_site=site, mod_delta=delta),
+            self.fragment_tolerance,
+        )
+        dot = b_int + y_int
+        if dot <= 0.0 or (nb == 0 and ny == 0):
+            return -math.inf
+        ln = math.log(dot) + math.lgamma(nb + 1) + math.lgamma(ny + 1)
+        return ln / math.log(10.0)

@@ -1,0 +1,39 @@
+"""Name-based scorer construction for configs and the CLI."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.scoring.base import Scorer
+from repro.scoring.hypergeometric import HypergeometricScorer
+from repro.scoring.hyperscore import HyperScorer
+from repro.scoring.likelihood import LikelihoodRatioScorer
+from repro.scoring.shared_peaks import SharedPeakScorer
+from repro.scoring.xcorr import XCorrScorer
+from repro.spectra.library import SpectralLibrary
+
+SCORER_NAMES = ("shared_peaks", "likelihood", "hyperscore", "xcorr", "hypergeometric")
+
+
+def make_scorer(
+    name: str,
+    fragment_tolerance: float = 0.5,
+    library: Optional[SpectralLibrary] = None,
+) -> Scorer:
+    """Instantiate a scorer by name.
+
+    ``library`` is honoured only by the likelihood scorer (MSPolygraph's
+    spectral-library path); other scorers ignore it.
+    """
+    if name == "shared_peaks":
+        return SharedPeakScorer(fragment_tolerance)
+    if name == "likelihood":
+        return LikelihoodRatioScorer(fragment_tolerance, library=library)
+    if name == "hyperscore":
+        return HyperScorer(fragment_tolerance)
+    if name == "xcorr":
+        return XCorrScorer()
+    if name == "hypergeometric":
+        return HypergeometricScorer(fragment_tolerance)
+    raise ConfigError(f"unknown scorer {name!r}; expected one of {SCORER_NAMES}")

@@ -1,0 +1,37 @@
+"""Shared-peak-count scorer: the cheapest useful model.
+
+Counts experimental peaks explained by the candidate's b/y fragment
+ladder within a fragment tolerance.  This is the classic prefilter score
+(X!Tandem's first pass, SEQUEST's preliminary Sp core) — fast, crude,
+and the unit against which other scorers' ``relative_cost`` is defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectra.binning import count_matches
+from repro.spectra.spectrum import Spectrum
+from repro.spectra.theoretical import by_ion_ladder, modified_by_ion_ladder
+
+
+class SharedPeakScorer:
+    """Number of observed peaks matching the singly-charged b/y ladder."""
+
+    name = "shared_peaks"
+    relative_cost = 1.0
+
+    def __init__(self, fragment_tolerance: float = 0.5):
+        if fragment_tolerance <= 0:
+            raise ValueError(f"fragment_tolerance must be > 0, got {fragment_tolerance}")
+        self.fragment_tolerance = fragment_tolerance
+
+    def score(self, spectrum: Spectrum, candidate: np.ndarray) -> float:
+        ladder = by_ion_ladder(candidate)
+        return float(count_matches(spectrum.mz, ladder, self.fragment_tolerance))
+
+    def score_modified(
+        self, spectrum: Spectrum, candidate: np.ndarray, site: int, delta_mass: float
+    ) -> float:
+        ladder = modified_by_ion_ladder(candidate, site, delta_mass)
+        return float(count_matches(spectrum.mz, ladder, self.fragment_tolerance))

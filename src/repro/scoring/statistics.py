@@ -1,0 +1,85 @@
+"""Score statistics: target-decoy FDR estimation and q-values.
+
+MSPolygraph's value proposition (Cannon et al. 2005, carried into the
+paper) is statistical accuracy; this module provides the machinery to
+*measure* it.  Searching a target+decoy database yields, per query, a
+top hit that is either a target or a decoy match; at any score
+threshold ``t``:
+
+    FDR(t) ~= #decoy_hits(score >= t) / #target_hits(score >= t)
+
+(the standard concatenated-search estimator).  ``q``-values are the
+monotone hull of the FDR curve; ``accepted_at_fdr`` returns the
+identifications surviving a given rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.chem.decoy import is_decoy_id
+from repro.scoring.hits import Hit
+
+
+@dataclass(frozen=True)
+class ScoredIdentification:
+    """One query's top hit, labelled target/decoy, with its q-value."""
+
+    query_id: int
+    score: float
+    is_decoy: bool
+    q_value: float
+
+
+def top_hits_with_labels(hits: Dict[int, List[Hit]]) -> List[Tuple[int, float, bool]]:
+    """Per-query (query_id, top score, is_decoy) triples."""
+    out = []
+    for qid, hit_list in hits.items():
+        if hit_list:
+            top = hit_list[0]
+            out.append((qid, top.score, is_decoy_id(top.protein_id)))
+    return out
+
+
+def fdr_curve(labels: Sequence[Tuple[int, float, bool]]) -> List[ScoredIdentification]:
+    """Estimate q-values over a set of labelled top hits.
+
+    Returns identifications sorted by decreasing score with the
+    monotone-hulled FDR (q-value) attached.
+    """
+    ordered = sorted(labels, key=lambda x: (-x[1], x[0]))
+    decoys = 0
+    targets = 0
+    raw_fdr = []
+    for _qid, _score, is_decoy in ordered:
+        if is_decoy:
+            decoys += 1
+        else:
+            targets += 1
+        raw_fdr.append(decoys / max(targets, 1))
+    # q-value: minimum FDR at this score or any more permissive threshold
+    q = np.minimum.accumulate(np.array(raw_fdr)[::-1])[::-1]
+    return [
+        ScoredIdentification(qid, score, is_decoy, float(qv))
+        for (qid, score, is_decoy), qv in zip(ordered, q)
+    ]
+
+
+def accepted_at_fdr(
+    identifications: Sequence[ScoredIdentification], fdr: float = 0.01
+) -> List[ScoredIdentification]:
+    """Target identifications whose q-value is at or below ``fdr``."""
+    if fdr < 0:
+        raise ValueError(f"fdr must be >= 0, got {fdr}")
+    return [ident for ident in identifications if not ident.is_decoy and ident.q_value <= fdr]
+
+
+def score_threshold_at_fdr(
+    identifications: Sequence[ScoredIdentification], fdr: float = 0.01
+) -> float:
+    """Lowest score still accepted at the given FDR (inf if none)."""
+    accepted = accepted_at_fdr(identifications, fdr)
+    return min((a.score for a in accepted), default=float("inf"))

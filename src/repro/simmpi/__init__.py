@@ -1,0 +1,45 @@
+"""simmpi: a deterministic simulated distributed-memory machine.
+
+The paper's experiments ran C/MPI on a 24-node gigabit-ethernet cluster
+with up to 128 MPI processes and 1 GB RAM per process.  Offline and on a
+laptop we reproduce that *machine* rather than require it: rank programs
+are written against an mpi4py-flavoured API (:class:`SimComm`) and run as
+coroutines under a discrete-event scheduler (:class:`SimCluster`) that
+maintains a virtual clock, a latency/bandwidth network model, one-sided
+RMA windows, rendezvous collectives, and per-rank memory accounting.
+
+What is *real* in a simulated run: every byte of application data, every
+candidate generated, every score computed, every hit reported — results
+are bitwise products of real execution.  What is *modeled*: time.
+Computation charges virtual seconds through a calibrated cost model and
+communication charges the LogGP-style network, which is how a single
+laptop process reports 128-rank timings deterministically.
+
+Approximations (documented, deliberate):
+
+* Transfers resolve eagerly at issue time in scheduler order; since the
+  scheduler always advances the lowest-clock runnable rank, causality
+  errors are bounded by one run burst and vanish for the bulk-synchronous
+  patterns the paper's algorithms use.
+* NIC contention serializes transfers per endpoint (store-and-forward);
+  no switch topology is modeled.
+"""
+
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.memory import MemoryTracker
+from repro.simmpi.request import SimRequest
+from repro.simmpi.comm import SimComm
+from repro.simmpi.scheduler import SimCluster, ClusterConfig, RankOutcome
+from repro.simmpi.trace import RankTrace, TraceSummary
+
+__all__ = [
+    "NetworkModel",
+    "MemoryTracker",
+    "SimRequest",
+    "SimComm",
+    "SimCluster",
+    "ClusterConfig",
+    "RankOutcome",
+    "RankTrace",
+    "TraceSummary",
+]

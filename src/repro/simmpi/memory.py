@@ -1,0 +1,63 @@
+"""Per-rank memory accounting.
+
+The paper's space claims are the heart of its contribution: the
+master-worker baseline stores the whole database per rank (O(N)) and
+"resorts to swap space or crashes out of memory" past ~1.27 M sequences
+at 1 GB/rank, while Algorithms A and B keep three O(N/p) buffers each.
+:class:`MemoryTracker` enforces a configurable per-rank cap so those
+claims are *testable*: the baseline really does raise
+:class:`~repro.errors.OutOfMemoryError` where the paper says it dies,
+and a property test asserts A/B peak usage stays within the O((N+m)/p)
+bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import OutOfMemoryError
+
+
+class MemoryTracker:
+    """Tracks labelled allocations for one simulated rank."""
+
+    __slots__ = ("rank", "limit", "in_use", "peak", "_allocations")
+
+    def __init__(self, rank: int, limit: int):
+        if limit <= 0:
+            raise ValueError(f"memory limit must be > 0, got {limit}")
+        self.rank = rank
+        self.limit = limit
+        self.in_use = 0
+        self.peak = 0
+        self._allocations: Dict[str, int] = {}
+
+    def alloc(self, label: str, nbytes: int) -> None:
+        """Record an allocation; raises OutOfMemoryError past the cap.
+
+        Re-allocating an existing label replaces it (the paper's Drecv
+        and Dcomp buffers are "over-written at every iteration").
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        previous = self._allocations.get(label, 0)
+        new_total = self.in_use - previous + nbytes
+        if new_total > self.limit:
+            raise OutOfMemoryError(self.rank, nbytes, self.in_use - previous, self.limit)
+        self._allocations[label] = nbytes
+        self.in_use = new_total
+        if new_total > self.peak:
+            self.peak = new_total
+
+    def free(self, label: str) -> None:
+        """Release a labelled allocation (missing label is an error)."""
+        nbytes = self._allocations.pop(label, None)
+        if nbytes is None:
+            raise KeyError(f"rank {self.rank}: no allocation labelled {label!r}")
+        self.in_use -= nbytes
+
+    def usage(self, label: str) -> int:
+        return self._allocations.get(label, 0)
+
+    def labels(self) -> Dict[str, int]:
+        return dict(self._allocations)

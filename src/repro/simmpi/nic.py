@@ -1,0 +1,66 @@
+"""Per-endpoint NIC occupancy with earliest-gap interval packing.
+
+The scheduler advances each rank in *bursts* (until its next yield), so
+transfers are issued in scheduler order, not global virtual-time order.
+A scalar "NIC free at" clock would let a burst reserve future slots and
+spuriously delay other ranks' earlier transfers.  Instead each endpoint
+keeps a sorted list of busy intervals and a new transfer packs into the
+earliest gap, at or after its issue time, that is free at *both*
+endpoints.  The result is order-insensitive for non-overlapping traffic
+(no artifact) while still serializing genuinely concurrent transfers
+through a shared endpoint — the contention that matters when Algorithm
+B's sender groups skew toward a few ranks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+
+class NicTimeline:
+    """Busy intervals of one endpoint, sorted and non-overlapping."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+
+    def conflict_end(self, start: float, duration: float) -> float:
+        """If ``[start, start + duration)`` overlaps a busy interval,
+        return that interval's end; else return ``start``."""
+        if duration <= 0:
+            return start
+        idx = bisect.bisect_right(self._intervals, (start, float("inf"))) - 1
+        if idx >= 0 and self._intervals[idx][1] > start:
+            return self._intervals[idx][1]
+        if idx + 1 < len(self._intervals) and self._intervals[idx + 1][0] < start + duration:
+            return self._intervals[idx + 1][1]
+        return start
+
+    def reserve(self, start: float, duration: float) -> None:
+        if duration <= 0:
+            return
+        bisect.insort(self._intervals, (start, start + duration))
+
+    @property
+    def busy_time(self) -> float:
+        return sum(e - s for s, e in self._intervals)
+
+
+def reserve_transfer(
+    origin: NicTimeline, target: NicTimeline, issue_time: float, duration: float
+) -> float:
+    """Pack a transfer into the earliest common gap; returns its start time."""
+    if duration <= 0:
+        return issue_time
+    start = issue_time
+    for _ in range(1_000_000):  # converges in O(#intervals) steps
+        moved = origin.conflict_end(start, duration)
+        moved = target.conflict_end(moved, duration)
+        if moved == start:
+            origin.reserve(start, duration)
+            target.reserve(start, duration)
+            return start
+        start = moved
+    raise RuntimeError("NIC reservation failed to converge")  # pragma: no cover

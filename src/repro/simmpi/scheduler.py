@@ -1,0 +1,335 @@
+"""The discrete-event scheduler driving simulated rank programs.
+
+:class:`SimCluster` owns the machine state: per-rank virtual clocks
+(inside each :class:`~repro.simmpi.comm.SimComm`), RMA windows, NIC
+availability, mailboxes, in-flight collectives, memory trackers and
+traces.  Rank programs are generators; the scheduler repeatedly advances
+the runnable rank with the smallest virtual clock (ties broken by rank
+id), which both guarantees determinism and keeps message causality
+conservative (a rank never consumes a message that an earlier-in-time
+rank could still have preceded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.constants import PAPER_RAM_PER_RANK_BYTES
+from repro.errors import CommunicationError, DeadlockError
+from repro.simmpi.comm import (
+    ANY_SOURCE,
+    CollectiveOp,
+    RecvOp,
+    SimComm,
+    reduce_values,
+)
+from repro.simmpi.memory import MemoryTracker
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.nic import NicTimeline, reserve_transfer
+from repro.simmpi.request import SimRequest
+from repro.simmpi.trace import RankTrace, TraceSummary
+
+RankProgram = Callable[[SimComm], Generator[Any, Any, Any]]
+
+_READY = "ready"
+_BLOCKED_RECV = "blocked_recv"
+_BLOCKED_COLL = "blocked_coll"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and physics of the simulated machine.
+
+    Defaults mirror the paper's testbed: 1 GB RAM per MPI process over
+    gigabit ethernet.
+
+    ``rank_speeds`` models a *heterogeneous* cluster: entry r scales rank
+    r's compute throughput (1.0 = nominal, 0.5 = half speed).  The
+    paper's testbed was homogeneous; heterogeneity is the regime where
+    the master-worker baseline's dynamic balancing beats Algorithm A's
+    static split (see tests/integration/test_heterogeneous.py).
+    """
+
+    num_ranks: int
+    ram_per_rank: int = PAPER_RAM_PER_RANK_BYTES
+    network: NetworkModel = field(default_factory=NetworkModel)
+    record_events: bool = False
+    rank_speeds: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {self.num_ranks}")
+        if self.rank_speeds is not None:
+            if len(self.rank_speeds) != self.num_ranks:
+                raise ValueError(
+                    f"rank_speeds has {len(self.rank_speeds)} entries for "
+                    f"{self.num_ranks} ranks"
+                )
+            if any(s <= 0 for s in self.rank_speeds):
+                raise ValueError("rank_speeds must be positive")
+
+    def speed_of(self, rank: int) -> float:
+        return self.rank_speeds[rank] if self.rank_speeds is not None else 1.0
+
+
+@dataclass
+class RankOutcome:
+    """What one rank produced: its return value and final clock."""
+
+    rank: int
+    value: Any
+    finish_time: float
+
+
+@dataclass
+class _Message:
+    arrival: float
+    seq: int
+    source: int
+    tag: int
+    payload: Any
+
+
+@dataclass
+class _PendingCollective:
+    kind: str
+    arrivals: Dict[int, Tuple[float, CollectiveOp]] = field(default_factory=dict)
+
+
+class SimCluster:
+    """A simulated distributed-memory machine run."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        p = config.num_ranks
+        self.memory: Dict[int, MemoryTracker] = {
+            r: MemoryTracker(r, config.ram_per_rank) for r in range(p)
+        }
+        self.traces: Dict[int, RankTrace] = {
+            r: RankTrace(r, record_events=config.record_events) for r in range(p)
+        }
+        self._comms = [SimComm(r, p, self) for r in range(p)]
+        self._windows: Dict[Tuple[int, str], Tuple[Any, int]] = {}
+        self._nics: List[NicTimeline] = [NicTimeline() for _ in range(p)]
+        self._mailboxes: Dict[int, List[_Message]] = {r: [] for r in range(p)}
+        self._send_seq = 0
+        self._collectives: Dict[int, _PendingCollective] = {}
+        self._recv_filter: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # machine services called by SimComm
+    # ------------------------------------------------------------------
+
+    def expose_window(self, rank: int, name: str, payload: Any, nbytes: int) -> None:
+        key = (rank, name)
+        if key in self._windows:
+            raise CommunicationError(f"rank {rank} window {name!r} already exposed")
+        self._windows[key] = (payload, int(nbytes))
+
+    def unexpose_window(self, rank: int, name: str) -> None:
+        if self._windows.pop((rank, name), None) is None:
+            raise CommunicationError(f"rank {rank} window {name!r} not exposed")
+
+    def read_window(self, rank: int, name: str) -> Any:
+        try:
+            return self._windows[(rank, name)][0]
+        except KeyError:
+            raise CommunicationError(f"rank {rank} window {name!r} not exposed") from None
+
+    def issue_get(self, origin: int, target: int, window: str, now: float) -> SimRequest:
+        try:
+            payload, nbytes = self._windows[(target, window)]
+        except KeyError:
+            raise CommunicationError(
+                f"iget: rank {target} has no exposed window {window!r}"
+            ) from None
+        net = self.config.network
+        if origin == target:
+            # local read: no wire, immediate completion
+            return SimRequest(origin, target, window, 0, now, now, payload)
+        wire = net.byte_cost * nbytes
+        start = reserve_transfer(self._nics[origin], self._nics[target], now, wire)
+        end = start + wire + net.latency
+        self.traces[origin].add("comm_issued", start, wire + net.latency, f"get {window}@{target}")
+        return SimRequest(origin, target, window, nbytes, now, end, payload)
+
+    def post_send(
+        self, source: int, dest: int, payload: Any, nbytes: int, tag: int, now: float
+    ) -> None:
+        net = self.config.network
+        if dest == source:
+            arrival = now
+        else:
+            wire = net.byte_cost * nbytes
+            start = reserve_transfer(self._nics[source], self._nics[dest], now, wire)
+            arrival = start + wire + net.latency
+            self.traces[source].add("comm_issued", start, wire + net.latency, f"send->{dest}")
+        self._send_seq += 1
+        self._mailboxes[dest].append(_Message(arrival, self._send_seq, source, tag, payload))
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: RankProgram,
+        args: Optional[Dict[int, tuple]] = None,
+    ) -> Tuple[List[RankOutcome], TraceSummary]:
+        """Run ``program(comm, *args[rank])`` on every rank to completion.
+
+        Returns per-rank outcomes (in rank order) and the trace summary.
+        Any exception raised inside a rank program propagates to the
+        caller (with rank context), mirroring an MPI abort.
+        """
+        p = self.config.num_ranks
+        gens: List[Generator] = []
+        for r in range(p):
+            extra = args.get(r, ()) if args else ()
+            gens.append(program(self._comms[r], *extra))
+
+        state = [_READY] * p
+        inject: List[Any] = [None] * p  # value to send into the generator
+        outcomes: List[Optional[RankOutcome]] = [None] * p
+
+        def runnable_candidates() -> List[Tuple[float, int, str]]:
+            cands: List[Tuple[float, int, str]] = []
+            for r in range(p):
+                if state[r] == _READY:
+                    cands.append((self._comms[r].clock, r, "run"))
+                elif state[r] == _BLOCKED_RECV:
+                    msg = self._match_message(r)
+                    if msg is not None:
+                        cands.append((max(self._comms[r].clock, msg.arrival), r, "recv"))
+            return cands
+
+        while True:
+            if all(s == _DONE for s in state):
+                break
+            cands = runnable_candidates()
+            if not cands:
+                blocked = {r: state[r] for r in range(p) if state[r] != _DONE}
+                raise DeadlockError(f"no runnable rank; blocked states: {blocked}")
+            _t, rank, action = min(cands)
+            comm = self._comms[rank]
+            if action == "recv":
+                msg = self._match_message(rank)
+                assert msg is not None
+                self._mailboxes[rank].remove(msg)
+                if msg.arrival > comm.clock:
+                    self.traces[rank].add("wait", comm.clock, msg.arrival - comm.clock, "recv")
+                    comm.clock = msg.arrival
+                inject[rank] = (msg.source, msg.payload)
+                state[rank] = _READY
+
+            try:
+                op = gens[rank].send(inject[rank])
+            except StopIteration as stop:
+                state[rank] = _DONE
+                outcomes[rank] = RankOutcome(rank, stop.value, comm.clock)
+                continue
+            except Exception as exc:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(f"raised inside simulated rank {rank}")
+                raise
+            finally:
+                inject[rank] = None
+
+            if isinstance(op, RecvOp):
+                self._recv_filter[rank] = (op.source, op.tag)
+                state[rank] = _BLOCKED_RECV
+            elif isinstance(op, CollectiveOp):
+                state[rank] = _BLOCKED_COLL
+                self._enter_collective(rank, op, state, inject)
+            else:
+                raise CommunicationError(
+                    f"rank {rank} yielded {op!r}; only RecvOp/CollectiveOp may be yielded"
+                )
+
+        summary = TraceSummary.from_traces(
+            self.traces, makespan=max(o.finish_time for o in outcomes if o is not None)
+        )
+        return [o for o in outcomes if o is not None], summary
+
+    # ------------------------------------------------------------------
+
+    def _match_message(self, rank: int) -> Optional[_Message]:
+        source, tag = self._recv_filter.get(rank, (ANY_SOURCE, 0))
+        best: Optional[_Message] = None
+        for msg in self._mailboxes[rank]:
+            if source != ANY_SOURCE and msg.source != source:
+                continue
+            if msg.tag != tag:
+                continue
+            if best is None or (msg.arrival, msg.seq) < (best.arrival, best.seq):
+                best = msg
+        return best
+
+    def _enter_collective(
+        self, rank: int, op: CollectiveOp, state: List[str], inject: List[Any]
+    ) -> None:
+        pending = self._collectives.setdefault(op.instance, _PendingCollective(op.kind))
+        if pending.kind != op.kind:
+            raise CommunicationError(
+                f"collective mismatch at instance {op.instance}: rank {rank} called "
+                f"{op.kind!r} but another rank called {pending.kind!r}"
+            )
+        if rank in pending.arrivals:
+            raise CommunicationError(f"rank {rank} re-entered collective {op.instance}")
+        pending.arrivals[rank] = (self._comms[rank].clock, op)
+        p = self.config.num_ranks
+        done_ranks = [r for r in range(p) if state[r] == _DONE]
+        if done_ranks:
+            raise DeadlockError(
+                f"collective {op.kind!r} cannot complete: ranks {done_ranks} already finished"
+            )
+        if len(pending.arrivals) < p:
+            return
+        # all ranks arrived: compute results and release everyone
+        del self._collectives[op.instance]
+        net = self.config.network
+        arrival_max = max(t for t, _ in pending.arrivals.values())
+        ops = [pending.arrivals[r][1] for r in range(p)]
+        results: List[Any]
+        if op.kind in ("barrier", "rendezvous"):
+            end = arrival_max + net.barrier_time(p)
+            results = [None] * p
+        elif op.kind == "allreduce":
+            nbytes = max(o.nbytes for o in ops)
+            end = arrival_max + net.allreduce_time(p, nbytes)
+            reduced = reduce_values([o.payload for o in ops], ops[0].op or "sum")
+            results = [reduced] * p
+        elif op.kind == "bcast":
+            root = ops[0].root
+            end = arrival_max + net.bcast_time(p, ops[root].nbytes)
+            results = [ops[root].payload] * p
+        elif op.kind == "gather":
+            root = ops[0].root
+            nbytes = max(o.nbytes for o in ops)
+            end = arrival_max + net.bcast_time(p, nbytes)  # symmetric tree cost
+            gathered = [o.payload for o in ops]
+            results = [gathered if r == root else None for r in range(p)]
+        elif op.kind == "alltoallv":
+            send_totals = [o.nbytes for o in ops]
+            recv_totals = [
+                sum(int(ops[src].payload[dst][1]) for src in range(p)) for dst in range(p)
+            ]
+            end = arrival_max + net.alltoallv_time(p, max(send_totals), max(recv_totals))
+            results = [[ops[src].payload[dst][0] for src in range(p)] for dst in range(p)]
+            for src in range(p):
+                self.traces[src].add(
+                    "comm_issued", pending.arrivals[src][0], net.byte_cost * send_totals[src],
+                    "alltoallv",
+                )
+        else:  # pragma: no cover - kinds are produced only by SimComm
+            raise CommunicationError(f"unknown collective kind {op.kind!r}")
+
+        category = "wait" if op.kind == "rendezvous" else "collective"
+        for r in range(p):
+            arrive_t = pending.arrivals[r][0]
+            self.traces[r].add(category, arrive_t, end - arrive_t, op.kind)
+            self._comms[r].clock = end
+            inject[r] = results[r]
+            state[r] = _READY

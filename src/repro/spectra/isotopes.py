@@ -1,0 +1,80 @@
+"""Isotope envelope modeling (averagine approximation).
+
+Real fragment peaks are not single lines: carbon-13 (1.1% natural
+abundance) and friends produce an envelope of peaks spaced ~1.00335 Da
+apart whose shape depends on the fragment's elemental composition.  The
+standard approximation models a peptide of mass M as containing
+``M / 111.1254`` copies of *averagine* (the average amino-acid residue,
+C4.94 H7.76 N1.36 O1.48 S0.042), giving a binomial/Poisson envelope over
+heavy-isotope counts.
+
+Used by the spectrum simulator (``SimulatorConfig.isotope_envelope``)
+so simulated spectra exhibit the satellites that
+:func:`repro.spectra.preprocess.deisotope` exists to remove — the
+substrate loop closes: simulate -> preprocess -> search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: average residue (averagine) mass in Da
+AVERAGINE_MASS: float = 111.1254
+#: isotope peak spacing (13C - 12C)
+ISOTOPE_SPACING: float = 1.00335
+#: expected heavy-isotope events per averagine unit (dominated by 13C:
+#: 4.94 carbons x 1.07% + minor N/H/O/S contributions)
+_HEAVY_RATE_PER_AVERAGINE: float = 0.0594
+
+
+def envelope_probabilities(mass: float, max_isotopes: int = 3) -> np.ndarray:
+    """Relative abundances of the +0 ... +max_isotopes isotope peaks.
+
+    Poisson approximation with rate proportional to the fragment mass;
+    accurate to a few percent against full isotope-pattern calculators
+    for peptide-sized fragments, which is all the simulator needs.
+    Normalized so the monoisotopic (+0) peak is 1.0.
+    """
+    if mass <= 0:
+        raise ValueError(f"mass must be > 0, got {mass}")
+    if max_isotopes < 0:
+        raise ValueError(f"max_isotopes must be >= 0, got {max_isotopes}")
+    lam = _HEAVY_RATE_PER_AVERAGINE * (mass / AVERAGINE_MASS)
+    k = np.arange(max_isotopes + 1)
+    # Poisson pmf normalized to the k=0 term: lam^k / k!
+    with np.errstate(over="ignore"):
+        rel = lam**k / np.array([math.factorial(int(i)) for i in k], dtype=np.float64)
+    return rel
+
+
+def expand_with_isotopes(
+    mz: np.ndarray,
+    intensity: np.ndarray,
+    charge: int = 1,
+    max_isotopes: int = 2,
+    min_relative: float = 0.05,
+) -> tuple:
+    """Expand stick peaks into isotope envelopes.
+
+    Returns new (mz, intensity) arrays (unsorted) where each input peak
+    contributes its monoisotopic line plus up to ``max_isotopes``
+    satellites at ``+k * 1.00335 / charge``; satellites below
+    ``min_relative`` of their monoisotopic peak are dropped.
+    """
+    if charge < 1:
+        raise ValueError(f"charge must be >= 1, got {charge}")
+    out_mz = [np.asarray(mz, dtype=np.float64)]
+    out_int = [np.asarray(intensity, dtype=np.float64)]
+    for k in range(1, max_isotopes + 1):
+        # envelope shape depends on each fragment's (approximate) mass
+        masses = np.asarray(mz, dtype=np.float64) * charge
+        lam = _HEAVY_RATE_PER_AVERAGINE * (masses / AVERAGINE_MASS)
+        rel = lam**k / float(math.factorial(k))
+        keep = rel >= min_relative
+        if not np.any(keep):
+            continue
+        out_mz.append(np.asarray(mz)[keep] + k * ISOTOPE_SPACING / charge)
+        out_int.append(np.asarray(intensity)[keep] * rel[keep])
+    return np.concatenate(out_mz), np.concatenate(out_int)

@@ -1,0 +1,139 @@
+"""MGF (Mascot Generic Format) spectrum file I/O.
+
+MGF is the plain-text interchange format every search engine of the
+paper's era consumed (Mascot named it; SEQUEST/X!Tandem/MSPolygraph all
+read it).  Supporting it means real instrument exports can be searched
+with this library, and our simulated workloads can be fed to external
+tools for cross-validation.
+
+Format essentials handled here::
+
+    BEGIN IONS
+    TITLE=query 0
+    PEPMASS=924.504107 12345.6     # precursor m/z [intensity]
+    CHARGE=2+
+    SCANS=17
+    147.1128 102.4                 # fragment m/z, intensity
+    ...
+    END IONS
+
+Unknown ``KEY=VALUE`` headers are preserved on read (returned in the
+per-spectrum metadata) and blank lines/comments (#) are tolerated.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterator, List, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SpectrumError
+from repro.spectra.spectrum import Spectrum
+
+_PathOrHandle = Union[str, os.PathLike, TextIO]
+_CHARGE_RE = re.compile(r"^(\d+)([+-]?)$")
+
+
+def write_mgf(path: _PathOrHandle, spectra: Sequence[Spectrum]) -> None:
+    """Write spectra as MGF, one BEGIN/END IONS block each."""
+    own = not hasattr(path, "write")
+    fh: TextIO = open(path, "w", encoding="ascii") if own else path  # type: ignore[assignment]
+    try:
+        for spectrum in spectra:
+            fh.write("BEGIN IONS\n")
+            fh.write(f"TITLE=query {spectrum.query_id}\n")
+            fh.write(f"PEPMASS={spectrum.precursor_mz:.8f}\n")
+            fh.write(f"CHARGE={spectrum.charge}+\n")
+            for mz, intensity in zip(spectrum.mz, spectrum.intensity):
+                fh.write(f"{mz:.8f} {intensity:.6f}\n")
+            fh.write("END IONS\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_mgf(path: _PathOrHandle) -> List[Spectrum]:
+    """Read every spectrum of an MGF file (metadata-tolerant)."""
+    return [s for s, _meta in iter_mgf(path)]
+
+
+def iter_mgf(path: _PathOrHandle) -> Iterator[Tuple[Spectrum, Dict[str, str]]]:
+    """Yield ``(spectrum, metadata)`` pairs, streaming.
+
+    ``metadata`` maps the block's raw header keys (upper-cased) to their
+    string values, so callers can recover TITLE, SCANS, RTINSECONDS and
+    anything else the producer wrote.
+    """
+    own = not hasattr(path, "read")
+    fh: TextIO = open(path, "r", encoding="ascii") if own else path  # type: ignore[assignment]
+    try:
+        in_block = False
+        headers: Dict[str, str] = {}
+        peaks: List[Tuple[float, float]] = []
+        index = 0
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "BEGIN IONS":
+                if in_block:
+                    raise SpectrumError(f"line {lineno}: nested BEGIN IONS")
+                in_block, headers, peaks = True, {}, []
+                continue
+            if line == "END IONS":
+                if not in_block:
+                    raise SpectrumError(f"line {lineno}: END IONS outside a block")
+                yield _build(headers, peaks, index, lineno), headers
+                index += 1
+                in_block = False
+                continue
+            if not in_block:
+                continue  # inter-block junk some producers emit
+            if "=" in line and not line[0].isdigit():
+                key, _eq, value = line.partition("=")
+                headers[key.strip().upper()] = value.strip()
+            else:
+                parts = line.split()
+                try:
+                    mz = float(parts[0])
+                    intensity = float(parts[1]) if len(parts) > 1 else 1.0
+                except (ValueError, IndexError):
+                    raise SpectrumError(
+                        f"line {lineno}: malformed peak line {line!r}"
+                    ) from None
+                peaks.append((mz, intensity))
+        if in_block:
+            raise SpectrumError("unterminated BEGIN IONS block at end of file")
+    finally:
+        if own:
+            fh.close()
+
+
+def _build(
+    headers: Dict[str, str], peaks: List[Tuple[float, float]], index: int, lineno: int
+) -> Spectrum:
+    pepmass = headers.get("PEPMASS")
+    if pepmass is None:
+        raise SpectrumError(f"block ending at line {lineno}: missing PEPMASS")
+    precursor_mz = float(pepmass.split()[0])  # may carry intensity after m/z
+    charge = 1
+    raw_charge = headers.get("CHARGE")
+    if raw_charge:
+        match = _CHARGE_RE.match(raw_charge.replace(" ", ""))
+        if not match:
+            raise SpectrumError(f"block ending at line {lineno}: bad CHARGE {raw_charge!r}")
+        charge = int(match.group(1))
+    query_id = index
+    title = headers.get("TITLE", "")
+    title_match = re.search(r"query\s+(\d+)", title)
+    if title_match:
+        query_id = int(title_match.group(1))
+    if peaks:
+        mz = np.array([p[0] for p in peaks])
+        intensity = np.array([p[1] for p in peaks])
+    else:
+        mz = np.empty(0)
+        intensity = np.empty(0)
+    return Spectrum.from_peaks(mz, intensity, precursor_mz, charge, query_id)

@@ -1,0 +1,165 @@
+"""Spectrum preprocessing: the cleanup real pipelines run before search.
+
+Instrument spectra carry noise peaks, isotope satellites, and large
+dynamic range; production engines (SEQUEST, X!Tandem, MSPolygraph alike)
+normalize before scoring.  These transforms are pure functions
+Spectrum -> Spectrum, composable via :func:`preprocess`:
+
+* :func:`remove_low_intensity` — drop peaks below a fraction of the base
+  peak (electronic noise floor);
+* :func:`keep_top_k_per_window` — local intensity filtering, the
+  standard "top N peaks per 100 m/z" rule that equalizes dense and
+  sparse regions;
+* :func:`deisotope` — collapse +1 Da isotope satellites into their
+  monoisotopic peak;
+* :func:`remove_precursor_peaks` — excise the unfragmented precursor
+  (it carries no sequence information and can dominate scores);
+* :func:`sqrt_transform` — compress dynamic range (SEQUEST-style).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.constants import PROTON_MASS
+from repro.spectra.spectrum import Spectrum
+
+Transform = Callable[[Spectrum], Spectrum]
+
+#: spacing of isotope peaks for a singly-charged fragment (Da)
+_ISOTOPE_SPACING = 1.00335
+
+
+def _rebuild(spectrum: Spectrum, keep: np.ndarray) -> Spectrum:
+    return Spectrum(
+        spectrum.mz[keep],
+        spectrum.intensity[keep],
+        spectrum.precursor_mz,
+        spectrum.charge,
+        spectrum.query_id,
+    )
+
+
+def remove_low_intensity(threshold_fraction: float = 0.01) -> Transform:
+    """Drop peaks below ``threshold_fraction`` of the most intense peak."""
+    if not 0.0 <= threshold_fraction < 1.0:
+        raise ValueError(f"threshold_fraction must be in [0, 1), got {threshold_fraction}")
+
+    def transform(spectrum: Spectrum) -> Spectrum:
+        if spectrum.num_peaks == 0:
+            return spectrum
+        floor = spectrum.intensity.max() * threshold_fraction
+        return _rebuild(spectrum, spectrum.intensity >= floor)
+
+    return transform
+
+
+def keep_top_k_per_window(k: int = 6, window: float = 100.0) -> Transform:
+    """Keep only the ``k`` most intense peaks per ``window`` Da of m/z."""
+    if k < 1 or window <= 0:
+        raise ValueError("need k >= 1 and window > 0")
+
+    def transform(spectrum: Spectrum) -> Spectrum:
+        if spectrum.num_peaks <= k:
+            return spectrum
+        bins = (spectrum.mz / window).astype(np.int64)
+        keep = np.zeros(spectrum.num_peaks, dtype=bool)
+        for b in np.unique(bins):
+            idx = np.nonzero(bins == b)[0]
+            if len(idx) <= k:
+                keep[idx] = True
+            else:
+                top = idx[np.argpartition(spectrum.intensity[idx], -k)[-k:]]
+                keep[top] = True
+        return _rebuild(spectrum, keep)
+
+    return transform
+
+
+def deisotope(tolerance: float = 0.01) -> Transform:
+    """Remove +1 Da isotope satellites.
+
+    A peak is a satellite when a peak ~1.00335 Da lighter exists with
+    *greater* intensity (true for the isotope envelopes of peptide-sized
+    fragments); its intensity is folded into the monoisotopic peak.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+
+    def transform(spectrum: Spectrum) -> Spectrum:
+        n = spectrum.num_peaks
+        if n < 2:
+            return spectrum
+        mz = spectrum.mz
+        intensity = spectrum.intensity.copy()
+        satellite = np.zeros(n, dtype=bool)
+        # For each peak, look for its parent one isotope spacing below.
+        # Scanning from high m/z down lets satellite *chains* (the +2, +3
+        # isotopes) fold stepwise into the monoisotopic peak.
+        targets = mz - _ISOTOPE_SPACING
+        lo = np.searchsorted(mz, targets - tolerance, side="left")
+        hi = np.searchsorted(mz, targets + tolerance, side="right")
+        for i in range(n - 1, -1, -1):
+            for j in range(int(lo[i]), int(hi[i])):
+                if intensity[j] > intensity[i] and not satellite[j]:
+                    satellite[i] = True
+                    intensity[j] += intensity[i]
+                    break
+        keep = ~satellite
+        return Spectrum(
+            mz[keep], intensity[keep], spectrum.precursor_mz, spectrum.charge, spectrum.query_id
+        )
+
+    return transform
+
+
+def remove_precursor_peaks(tolerance: float = 2.0) -> Transform:
+    """Remove peaks within ``tolerance`` of the precursor's m/z (any of
+    the charge-reduced positions for the spectrum's charge)."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+
+    def transform(spectrum: Spectrum) -> Spectrum:
+        if spectrum.num_peaks == 0:
+            return spectrum
+        keep = np.ones(spectrum.num_peaks, dtype=bool)
+        neutral = spectrum.parent_mass
+        for z in range(1, spectrum.charge + 1):
+            pos = (neutral + z * PROTON_MASS) / z
+            keep &= np.abs(spectrum.mz - pos) > tolerance
+        return _rebuild(spectrum, keep)
+
+    return transform
+
+
+def sqrt_transform() -> Transform:
+    """Square-root the intensities (dynamic-range compression)."""
+
+    def transform(spectrum: Spectrum) -> Spectrum:
+        return Spectrum(
+            spectrum.mz,
+            np.sqrt(spectrum.intensity),
+            spectrum.precursor_mz,
+            spectrum.charge,
+            spectrum.query_id,
+        )
+
+    return transform
+
+
+def preprocess(spectrum: Spectrum, transforms: Sequence[Transform]) -> Spectrum:
+    """Apply transforms left to right."""
+    for transform in transforms:
+        spectrum = transform(spectrum)
+    return spectrum
+
+
+#: a sensible default pipeline for simulated instrument spectra
+DEFAULT_PIPELINE: Sequence[Transform] = (
+    remove_precursor_peaks(),
+    deisotope(),
+    remove_low_intensity(0.01),
+    keep_top_k_per_window(8, 100.0),
+)

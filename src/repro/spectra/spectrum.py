@@ -1,0 +1,119 @@
+"""The Spectrum value type.
+
+An *experimental spectrum* (paper Section I) is "a plot of peak
+intensities (y-axis) to m/z values (x-axis)" recorded for fragments of an
+unknown target peptide, together with the m/z of the whole parent
+peptide, ``m(q)``.  We store peaks as two parallel float arrays sorted by
+m/z, which every scorer and matcher relies on for binary-search matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.peptide import mz_to_mass
+from repro.errors import SpectrumError
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """An MS/MS spectrum: sorted peak m/z values, intensities, parent info.
+
+    Attributes:
+        mz: peak m/z values, strictly increasing, > 0 (``float64``).
+        intensity: peak intensities, >= 0, same length as ``mz``.
+        precursor_mz: observed m/z of the intact parent peptide, m(q).
+        charge: assumed parent charge state (>= 1).
+        query_id: stable identifier of this query within a workload; the
+            parallel algorithms carry it through redistribution so results
+            can be merged and compared against the serial engine.
+    """
+
+    mz: np.ndarray
+    intensity: np.ndarray
+    precursor_mz: float
+    charge: int = 1
+    query_id: int = -1
+
+    def __post_init__(self) -> None:
+        mz = np.ascontiguousarray(self.mz, dtype=np.float64)
+        intensity = np.ascontiguousarray(self.intensity, dtype=np.float64)
+        if mz.ndim != 1 or intensity.ndim != 1 or len(mz) != len(intensity):
+            raise SpectrumError("mz and intensity must be 1-D arrays of equal length")
+        if len(mz) and (np.any(mz <= 0) or np.any(np.diff(mz) <= 0)):
+            raise SpectrumError("peak m/z values must be positive and strictly increasing")
+        if np.any(intensity < 0):
+            raise SpectrumError("peak intensities must be non-negative")
+        if self.precursor_mz <= 0:
+            raise SpectrumError(f"precursor m/z must be positive, got {self.precursor_mz}")
+        if self.charge < 1:
+            raise SpectrumError(f"charge must be >= 1, got {self.charge}")
+        mz.flags.writeable = False
+        intensity.flags.writeable = False
+        object.__setattr__(self, "mz", mz)
+        object.__setattr__(self, "intensity", intensity)
+
+    @property
+    def num_peaks(self) -> int:
+        return len(self.mz)
+
+    @property
+    def parent_mass(self) -> float:
+        """Neutral mass of the parent peptide implied by precursor m/z and charge."""
+        return mz_to_mass(self.precursor_mz, self.charge)
+
+    @property
+    def total_intensity(self) -> float:
+        return float(self.intensity.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Transportable size, used by the simulated machine's accounting."""
+        return int(self.mz.nbytes + self.intensity.nbytes) + 24  # + scalars
+
+    @classmethod
+    def from_peaks(
+        cls,
+        mz: np.ndarray,
+        intensity: np.ndarray,
+        precursor_mz: float,
+        charge: int = 1,
+        query_id: int = -1,
+    ) -> "Spectrum":
+        """Build a spectrum from unsorted peaks, merging duplicate m/z values.
+
+        Duplicate m/z values have their intensities summed (two unresolved
+        fragments landing in the same measurement), which restores the
+        strict-ordering invariant.
+        """
+        mz = np.asarray(mz, dtype=np.float64)
+        intensity = np.asarray(intensity, dtype=np.float64)
+        order = np.argsort(mz, kind="stable")
+        mz, intensity = mz[order], intensity[order]
+        if len(mz):
+            keep = np.concatenate(([True], np.diff(mz) > 0))
+            group = np.cumsum(keep) - 1
+            summed = np.zeros(int(group[-1]) + 1)
+            np.add.at(summed, group, intensity)
+            mz, intensity = mz[keep], summed
+        return cls(mz, intensity, precursor_mz, charge, query_id)
+
+    def normalized(self) -> "Spectrum":
+        """Spectrum with intensities scaled so the maximum is 1 (no-op if empty)."""
+        peak = self.intensity.max() if len(self.intensity) else 0.0
+        if peak <= 0:
+            return self
+        return Spectrum(
+            self.mz, self.intensity / peak, self.precursor_mz, self.charge, self.query_id
+        )
+
+    def top_peaks(self, k: int) -> "Spectrum":
+        """Spectrum retaining only the ``k`` most intense peaks (still m/z-sorted)."""
+        if k >= self.num_peaks:
+            return self
+        idx = np.sort(np.argpartition(self.intensity, -k)[-k:])
+        return Spectrum(
+            self.mz[idx], self.intensity[idx], self.precursor_mz, self.charge, self.query_id
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic databases, queries, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.synthetic import generate_database
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """60 synthetic proteins (~19K residues): fast, non-trivial."""
+    return generate_database(60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """400 synthetic proteins, for integration tests."""
+    return generate_database(400, seed=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries(tiny_db):
+    """12 spectra whose targets come from tiny_db itself (findable)."""
+    spectra, targets = QueryWorkload(num_queries=12, seed=5, source=tiny_db).build()
+    return spectra
+
+
+@pytest.fixture(scope="session")
+def tiny_targets(tiny_db):
+    spectra, targets = QueryWorkload(num_queries=12, seed=5, source=tiny_db).build()
+    return targets
+
+
+@pytest.fixture(scope="session")
+def foreign_queries():
+    """10 spectra from an unrelated source (mostly miss the databases)."""
+    return QueryWorkload(num_queries=10, seed=99).build()[0]
+
+
+@pytest.fixture()
+def config():
+    return SearchConfig(tau=10)
+
+
+@pytest.fixture()
+def fast_config():
+    return SearchConfig(tau=10, scorer="shared_peaks")

@@ -1,0 +1,121 @@
+"""Integration: structural properties of the algorithms, read from traces.
+
+These tests pin the *mechanics* the paper describes — how many transfers
+happen, which buffers live when, how much wire each design moves — by
+inspecting the simulated machine's accounting rather than outputs.
+"""
+
+import pytest
+
+from repro.core.algorithm_a import run_algorithm_a
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.driver import run_search
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.scheduler import ClusterConfig
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+MODELED = SearchConfig(execution=ExecutionMode.MODELED, tau=10)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(600, seed=90)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return generate_queries(40, seed=91)
+
+
+def wire_seconds(db, queries, p, **kwargs):
+    net = NetworkModel(latency=0.0, byte_cost=1e-9, software_rma=False)
+    rep = run_algorithm_a(
+        db, queries, p, MODELED,
+        cluster_config=ClusterConfig(num_ranks=p, network=net), **kwargs,
+    )
+    return rep.trace.total_comm_issued / 1e-9  # -> bytes moved
+
+
+class TestAlgorithmATransferVolume:
+    def test_each_rank_fetches_p_minus_1_shards(self, db, queries):
+        """Total bytes moved = (p - 1) * N_transportable, independent of p's
+        split (every byte of the database visits every rank exactly once)."""
+        n_bytes = db.nbytes  # residues + offsets + ids, the transported arrays
+        for p in (2, 4, 8):
+            moved = wire_seconds(db, queries, p)
+            expected = (p - 1) * n_bytes
+            assert moved == pytest.approx(expected, rel=0.01), p
+
+    def test_p1_moves_nothing(self, db, queries):
+        assert wire_seconds(db, queries, 1) == pytest.approx(0.0, abs=1e-3)
+
+    def test_nomask_moves_same_volume(self, db, queries):
+        """Masking changes *when* transfers happen, not how much moves."""
+        masked = wire_seconds(db, queries, 4, mask=True)
+        unmasked = wire_seconds(db, queries, 4, mask=False)
+        assert masked == pytest.approx(unmasked, rel=1e-6)
+
+
+class TestMemoryLifecycle:
+    def test_three_database_buffers_at_peak(self, db, queries):
+        p = 4
+        rep = run_algorithm_a(db, queries, p, MODELED)
+        cost = MODELED.cost
+        from repro.core.partition import partition_database
+
+        shards = partition_database(db, p)
+        max_shard = max(cost.shard_bytes(s) for s in shards)
+        for rank, peak in rep.peak_memory.items():
+            assert peak <= 3 * max_shard + 512 * 1024, f"rank {rank}"
+            # and at least 2 buffers: the algorithm cannot run with fewer
+            assert peak >= 2 * min(cost.shard_bytes(s) for s in shards)
+
+    def test_master_worker_memory_flat_in_p(self, db, queries):
+        peaks = {}
+        for p in (3, 6):
+            rep = run_search(db, queries, "master_worker", p, MODELED)
+            peaks[p] = rep.max_peak_memory
+        assert peaks[6] == pytest.approx(peaks[3], rel=0.01)
+
+
+class TestTraceStructure:
+    def test_compute_conserved_across_p(self, db, queries):
+        """The candidate-evaluation compute (sum over ranks) is constant:
+        parallelism redistributes work, it does not create it.  The terms
+        that legitimately grow with p — per-iteration overhead (p
+        iterations on p ranks), per-iteration query bookkeeping (each
+        rank touches its m/p queries once per iteration) and shard
+        re-scans — are subtracted via the cost model."""
+        cost = MODELED.cost
+        m = len(queries)
+        totals = {}
+        for p in (1, 4, 16):
+            rep = run_search(db, queries, "algorithm_a", p, MODELED)
+            p_scaling = (
+                cost.iteration_overhead * p * p  # p iterations x p ranks
+                + cost.query_overhead * m * p  # each rank: (m/p) x p iterations
+                + cost.scan_per_byte * db.nbytes * p  # each rank scans N total
+            )
+            totals[p] = rep.trace.total_compute - p_scaling
+        assert totals[4] == pytest.approx(totals[1], rel=0.05)
+        assert totals[16] == pytest.approx(totals[1], rel=0.05)
+
+    def test_makespan_bounded_by_components(self, db, queries):
+        rep = run_search(db, queries, "algorithm_a", 4, MODELED)
+        t = rep.trace
+        per_rank_upper = (
+            t.total_compute + t.total_wait + t.total_collective
+        )  # sum over ranks >= makespan * 1 (trivially for p >= 1)
+        assert rep.virtual_time <= per_rank_upper + 1e-9
+        slowest_rank = max(
+            tr.compute + tr.wait + tr.collective for tr in t.per_rank.values()
+        )
+        assert rep.virtual_time == pytest.approx(slowest_rank, rel=0.05)
+
+    def test_candidate_counts_independent_of_p(self, db, queries):
+        counts = {
+            p: run_search(db, queries, "algorithm_a", p, MODELED).candidates_evaluated
+            for p in (1, 3, 8)
+        }
+        assert len(set(counts.values())) == 1

@@ -1,0 +1,69 @@
+"""Integration: degenerate inputs have defined, graceful behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import SearchConfig
+from repro.core.driver import ALGORITHMS, run_search
+from repro.core.search import search_serial
+from repro.spectra.spectrum import Spectrum
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+CFG = SearchConfig(tau=5)
+
+ENGINES = [a for a in sorted(ALGORITHMS) if a != "serial"]
+
+
+class TestEmptyDatabase:
+    @pytest.mark.parametrize("algorithm", ENGINES)
+    def test_all_engines_return_empty_hitlists(self, algorithm, foreign_queries):
+        rep = run_search(ProteinDatabase.empty(), foreign_queries, algorithm, 4, CFG)
+        assert rep.candidates_evaluated == 0
+        assert set(rep.hits) == {q.query_id for q in foreign_queries}
+        assert all(h == [] for h in rep.hits.values())
+
+
+class TestEmptyQuerySet:
+    @pytest.mark.parametrize("algorithm", ENGINES)
+    def test_all_engines_finish(self, algorithm, tiny_db):
+        rep = run_search(tiny_db, [], algorithm, 4, CFG)
+        assert rep.candidates_evaluated == 0
+        assert rep.hits == {}
+        assert rep.virtual_time >= 0.0
+
+
+class TestDegenerateShapes:
+    def test_single_sequence_database_many_ranks(self, foreign_queries):
+        db = ProteinDatabase.from_sequences(["MKTAYIAKQRQISFVKSHFSR"])
+        ref = search_serial(db, foreign_queries, CFG)
+        for algorithm in ("algorithm_a", "algorithm_b", "master_worker"):
+            rep = run_search(db, foreign_queries, algorithm, 8, CFG)
+            from repro.core.results import reports_equal
+
+            assert reports_equal(ref, rep), algorithm
+
+    def test_more_ranks_than_queries(self, tiny_db):
+        queries = generate_queries(2, seed=7)
+        rep = run_search(tiny_db, queries, "algorithm_a", 8, CFG)
+        assert set(rep.hits) == {0, 1}
+
+    def test_query_with_single_peak(self, tiny_db):
+        q = Spectrum(np.array([500.0]), np.array([1.0]), 1200.0, 1, 0)
+        rep = search_serial(tiny_db, [q], CFG)
+        assert 0 in rep.hits
+
+    def test_tau_one(self, tiny_db, tiny_queries):
+        rep = search_serial(tiny_db, tiny_queries, SearchConfig(tau=1))
+        assert all(len(h) <= 1 for h in rep.hits.values())
+
+    def test_zero_delta_window(self, tiny_db, tiny_queries):
+        # a zero-width window (m(q) +/- 0) is legal; usually no candidates
+        rep = search_serial(tiny_db, tiny_queries, SearchConfig(tau=5, delta=0.0))
+        assert rep.candidates_evaluated >= 0
+
+    def test_huge_delta_window_evaluates_every_span(self, tiny_db, tiny_queries):
+        rep = search_serial(tiny_db, tiny_queries, SearchConfig(tau=5, delta=1e9))
+        spans = 2 * tiny_db.total_residues - len(tiny_db)
+        assert rep.candidates_evaluated == spans * len(tiny_queries)

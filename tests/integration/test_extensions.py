@@ -1,0 +1,106 @@
+"""Integration: the paper's Section III.A extensions.
+
+* sub-group partitioning (database within groups, queries across),
+* the query-transport design alternative (Section II.B's rejected option),
+* the candidate-transport future-work strategy.
+
+All three must reproduce the serial output exactly (they score the same
+(query, candidate) pairs; only placement changes), and must exhibit the
+trade-offs the paper predicted.
+"""
+
+import pytest
+
+from repro.core.candidate_transport import run_candidate_transport
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.driver import run_search
+from repro.core.query_transport import run_query_transport
+from repro.core.results import reports_equal
+from repro.core.search import search_serial
+from repro.core.subgroups import run_subgroups
+from repro.errors import ConfigError
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+MODELED = SearchConfig(execution=ExecutionMode.MODELED, tau=10)
+
+
+@pytest.fixture(scope="module")
+def reference(small_db, tiny_queries):
+    return search_serial(small_db, tiny_queries, SearchConfig(tau=10))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "algorithm", ["query_transport", "candidate_transport", "subgroups_g2"]
+    )
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_reproduces_serial(self, small_db, tiny_queries, reference, algorithm, p):
+        rep = run_search(small_db, tiny_queries, algorithm, p, SearchConfig(tau=10))
+        assert reports_equal(reference, rep), f"{algorithm} p={p}"
+
+    @pytest.mark.parametrize("g", [1, 2, 4])
+    def test_subgroups_any_group_count(self, small_db, tiny_queries, reference, g):
+        rep = run_subgroups(small_db, tiny_queries, 8, g, SearchConfig(tau=10))
+        assert reports_equal(reference, rep)
+
+    def test_subgroups_invalid_split(self, small_db, tiny_queries):
+        with pytest.raises(ConfigError):
+            run_subgroups(small_db, tiny_queries, 8, 3)
+
+    def test_candidate_transport_rejects_ptms(self, small_db, tiny_queries):
+        from repro.chem.amino_acids import STANDARD_MODIFICATIONS
+
+        cfg = SearchConfig(modifications=(STANDARD_MODIFICATIONS["oxidation"],))
+        with pytest.raises(NotImplementedError):
+            run_candidate_transport(small_db, tiny_queries, 4, cfg)
+
+
+class TestTradeoffs:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_database(1_500, seed=70)
+
+    @pytest.fixture(scope="class")
+    def queries(self):
+        return generate_queries(80, seed=71)
+
+    def test_subgroups_trade_memory_for_iterations(self, db, queries):
+        """g groups: per-rank memory grows ~g-fold, iterations fall g-fold."""
+        p = 8
+        g1 = run_subgroups(db, queries, p, 1, MODELED)
+        g4 = run_subgroups(db, queries, p, 4, MODELED)
+        assert g4.max_peak_memory > 2.0 * g1.max_peak_memory
+        # fewer rotation steps -> less iteration overhead and fewer
+        # rendezvous; with compute equal, total time must not increase
+        assert g4.virtual_time <= g1.virtual_time * 1.05
+
+    def test_subgroups_g1_equals_algorithm_a(self, db, queries):
+        p = 4
+        a = run_search(db, queries, "algorithm_a", p, MODELED)
+        g1 = run_subgroups(db, queries, p, 1, MODELED)
+        assert g1.virtual_time == pytest.approx(a.virtual_time, rel=0.02)
+        assert g1.candidates_evaluated == a.candidates_evaluated
+
+    def test_candidate_transport_moves_fewer_bytes(self, db, queries):
+        """With narrow windows, candidate bytes << database bytes."""
+        p = 8
+        a = run_search(db, queries, "algorithm_a", p, MODELED)
+        ct = run_candidate_transport(db, queries, p, MODELED)
+        assert ct.trace.total_comm_issued < a.trace.total_comm_issued
+
+    def test_candidate_transport_reduces_compute(self, db, queries):
+        """The paper's motivation: pre-generated candidates cut rho."""
+        p = 8
+        a = run_search(db, queries, "algorithm_a", p, MODELED)
+        ct = run_candidate_transport(db, queries, p, MODELED)
+        assert ct.trace.total_compute < a.trace.total_compute
+        assert ct.candidates_evaluated == a.candidates_evaluated
+
+    def test_query_transport_space_matches_a(self, db, queries):
+        """Query transport also keeps O(N/p) per rank (single shard)."""
+        p = 8
+        qt = run_query_transport(db, queries, p, MODELED)
+        a = run_search(db, queries, "algorithm_a", p, MODELED)
+        # qt holds ONE shard (no Dcomp/Drecv buffers): less memory than A
+        assert qt.max_peak_memory < a.max_peak_memory

@@ -1,0 +1,49 @@
+"""Integration: the real multiprocessing engine."""
+
+import os
+
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.search import search_serial
+from repro.core.results import reports_equal
+from repro.engines.multiproc import run_multiprocess_search
+
+
+class TestMultiprocess:
+    def test_output_matches_serial(self, small_db, tiny_queries):
+        cfg = SearchConfig(tau=10)
+        ref = search_serial(small_db, tiny_queries, cfg)
+        rep = run_multiprocess_search(small_db, tiny_queries, num_workers=2, config=cfg)
+        assert reports_equal(ref, rep)
+
+    def test_single_worker_inline(self, small_db, tiny_queries):
+        cfg = SearchConfig(tau=10)
+        rep = run_multiprocess_search(small_db, tiny_queries, num_workers=1, config=cfg)
+        ref = search_serial(small_db, tiny_queries, cfg)
+        assert reports_equal(ref, rep)
+
+    def test_shards_per_worker(self, small_db, tiny_queries):
+        cfg = SearchConfig(tau=10)
+        rep = run_multiprocess_search(
+            small_db, tiny_queries, num_workers=2, config=cfg, shards_per_worker=3
+        )
+        assert rep.extras["num_shards"] == 6
+        assert reports_equal(search_serial(small_db, tiny_queries, cfg), rep)
+
+    def test_wall_time_recorded(self, small_db, tiny_queries):
+        rep = run_multiprocess_search(
+            small_db, tiny_queries, num_workers=1, config=SearchConfig(tau=5)
+        )
+        assert rep.virtual_time > 0
+        assert rep.extras["wall_time"] == rep.virtual_time
+
+    def test_invalid_workers(self, small_db, tiny_queries):
+        with pytest.raises(ValueError):
+            run_multiprocess_search(small_db, tiny_queries, num_workers=0)
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs 2 cores")
+    def test_queries_without_candidates_reported_empty(self, small_db, foreign_queries):
+        cfg = SearchConfig(tau=5, delta=0.0001)
+        rep = run_multiprocess_search(small_db, foreign_queries, num_workers=2, config=cfg)
+        assert set(rep.hits) == {q.query_id for q in foreign_queries}

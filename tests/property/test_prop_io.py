@@ -1,0 +1,105 @@
+"""Property-based tests for I/O roundtrips and protease invariants."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.enzymes import PROTEASES, Protease
+from repro.chem.amino_acids import encode_sequence
+from repro.chem.protein import ProteinDatabase
+from repro.chem.fasta import read_fasta, write_fasta
+from repro.constants import AMINO_ACIDS
+from repro.spectra.mgf import read_mgf, write_mgf
+from repro.spectra.spectrum import Spectrum
+
+sequences = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=50)
+databases = st.lists(sequences, min_size=1, max_size=10).map(
+    ProteinDatabase.from_sequences
+)
+
+
+@given(databases)
+@settings(max_examples=40)
+def test_fasta_roundtrip(db):
+    buf = io.StringIO()
+    write_fasta(buf, db)
+    buf.seek(0)
+    loaded = read_fasta(buf)
+    assert len(loaded) == len(db)
+    for i in range(len(db)):
+        assert loaded.sequence_str(i) == db.sequence_str(i)
+
+
+def _make_spectrum(mzs, intensities, precursor, charge, qid):
+    # keep peaks separated well above the MGF writer's 1e-8 quantization
+    # so the roundtrip cannot merge them
+    mzs = sorted({round(m, 3) for m in mzs})
+    inten = (intensities + [1.0] * len(mzs))[: len(mzs)]
+    return Spectrum.from_peaks(np.array(mzs), np.array(inten), precursor, charge, qid)
+
+
+spectra_strategy = st.builds(
+    _make_spectrum,
+    mzs=st.lists(st.floats(min_value=50.0, max_value=3000.0), min_size=0, max_size=30),
+    intensities=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=30),
+    precursor=st.floats(min_value=100.0, max_value=5000.0),
+    charge=st.integers(min_value=1, max_value=4),
+    qid=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(st.lists(spectra_strategy, min_size=0, max_size=6))
+@settings(max_examples=40)
+def test_mgf_roundtrip(spectra):
+    buf = io.StringIO()
+    write_mgf(buf, spectra)
+    buf.seek(0)
+    loaded = read_mgf(buf)
+    assert len(loaded) == len(spectra)
+    for a, b in zip(spectra, loaded):
+        assert b.query_id == a.query_id
+        assert b.charge == a.charge
+        assert b.num_peaks == a.num_peaks
+        assert abs(b.precursor_mz - a.precursor_mz) < 1e-6
+        if a.num_peaks:
+            assert np.allclose(b.mz, a.mz, atol=1e-6)
+
+
+protease_rules = st.builds(
+    Protease,
+    name=st.just("prop"),
+    residues=st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=4),
+    blocked_by=st.text(alphabet=AMINO_ACIDS, min_size=0, max_size=2),
+)
+
+
+@given(protease_rules, sequences)
+@settings(max_examples=80)
+def test_any_protease_zero_missed_is_a_partition(protease, seq):
+    enc = encode_sequence(seq)
+    spans = list(protease.peptides(enc, 0))
+    assert "".join(seq[a:b] for a, b in spans) == seq
+
+
+@given(protease_rules, sequences, st.integers(min_value=0, max_value=3))
+@settings(max_examples=60)
+def test_any_protease_spans_valid(protease, seq, missed):
+    enc = encode_sequence(seq)
+    for start, stop in protease.peptides(enc, missed):
+        assert 0 <= start < stop <= len(seq)
+        # interior boundaries sit at cleavage sites
+        if stop < len(seq):
+            assert seq[stop - 1] in protease.residues
+
+
+@given(st.sampled_from(sorted(PROTEASES)), sequences)
+@settings(max_examples=60)
+def test_catalog_proteases_sites_match_their_rules(name, seq):
+    protease = PROTEASES[name]
+    enc = encode_sequence(seq)
+    for site in protease.cleavage_sites(enc):
+        assert seq[site] in protease.residues
+        if site + 1 < len(seq):
+            assert seq[site + 1] not in protease.blocked_by

@@ -1,0 +1,105 @@
+"""Property-based tests for the simulated machine's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.nic import NicTimeline, reserve_transfer
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+from repro.simmpi.network import NetworkModel
+
+transfers = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),  # issue time
+        st.floats(min_value=0.001, max_value=10.0),  # duration
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(transfers)
+@settings(max_examples=80)
+def test_nic_reservations_never_overlap(batch):
+    a, b = NicTimeline(), NicTimeline()
+    intervals = []
+    for issue, dur in batch:
+        start = reserve_transfer(a, b, issue, dur)
+        assert start >= issue
+        intervals.append((start, start + dur))
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2 + 1e-9, "reserved intervals overlap"
+
+
+@given(transfers)
+@settings(max_examples=50)
+def test_nic_busy_time_conserved(batch):
+    a, b = NicTimeline(), NicTimeline()
+    total = 0.0
+    for issue, dur in batch:
+        reserve_transfer(a, b, issue, dur)
+        total += dur
+    assert a.busy_time == np.float64(a.busy_time)
+    assert abs(a.busy_time - total) < 1e-6
+    assert abs(b.busy_time - total) < 1e-6
+
+
+compute_profiles = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=4),
+    min_size=2,
+    max_size=6,
+)
+
+
+@given(compute_profiles)
+@settings(max_examples=40, deadline=None)
+def test_barrier_clock_agreement(profiles):
+    """After a barrier every rank's clock equals the max arrival + cost."""
+    p = len(profiles)
+
+    def program(comm):
+        for dt in profiles[comm.rank]:
+            comm.compute(dt)
+        yield comm.barrier_op()
+        return comm.clock
+
+    cluster = SimCluster(ClusterConfig(num_ranks=p, network=NetworkModel(latency=0.0, byte_cost=0.0)))
+    outcomes, _ = cluster.run(program)
+    clocks = [o.value for o in outcomes]
+    expected = max(sum(prof) for prof in profiles)
+    assert all(abs(c - expected) < 1e-9 for c in clocks)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_sum_correct_for_any_rank_values(values):
+    p = len(values)
+
+    def program(comm):
+        total = yield comm.allreduce_op(values[comm.rank], "sum")
+        return total
+
+    cluster = SimCluster(ClusterConfig(num_ranks=p))
+    outcomes, _ = cluster.run(program)
+    assert all(o.value == sum(values) for o in outcomes)
+
+
+@given(compute_profiles)
+@settings(max_examples=30, deadline=None)
+def test_makespan_at_least_critical_path(profiles):
+    """The makespan can never be below the longest rank's compute."""
+    p = len(profiles)
+
+    def program(comm):
+        for dt in profiles[comm.rank]:
+            comm.compute(dt)
+        yield comm.barrier_op()
+        return None
+
+    cluster = SimCluster(ClusterConfig(num_ranks=p))
+    _o, summary = cluster.run(program)
+    assert summary.makespan >= max(sum(prof) for prof in profiles) - 1e-9
+    assert summary.total_compute == sum(sum(prof) for prof in profiles)

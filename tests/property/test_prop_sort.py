@@ -1,0 +1,60 @@
+"""Property-based tests for the parallel counting sort."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.protein import ProteinDatabase
+from repro.constants import AMINO_ACIDS
+from repro.core.costmodel import CostModel
+from repro.core.partition import partition_database
+from repro.core.sort import (
+    counting_sort_pivots,
+    destination_of_keys,
+    parallel_counting_sort,
+)
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+
+sequences = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=30)
+databases = st.lists(sequences, min_size=1, max_size=16).map(
+    ProteinDatabase.from_sequences
+)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_pivots_partition_key_space(weights, p):
+    w = np.array(weights)
+    hi = counting_sort_pivots(w, p)
+    assert len(hi) == p
+    assert hi[-1] == len(w) - 1
+    assert np.all(np.diff(hi) >= 0)
+    dest = destination_of_keys(np.arange(len(w)), hi)
+    assert dest.min() >= 0 and dest.max() <= p - 1
+    # destinations are monotone in key
+    assert np.all(np.diff(dest) >= 0)
+
+
+@given(databases, st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_parallel_sort_is_a_sorted_permutation(db, p):
+    shards = partition_database(db, p)
+    cost = CostModel()
+
+    def program(comm):
+        result = yield from parallel_counting_sort(comm, shards[comm.rank], cost)
+        return result
+
+    cluster = SimCluster(ClusterConfig(num_ranks=p))
+    outcomes, _ = cluster.run(program)
+    merged = ProteinDatabase.concat([o.value[0] for o in outcomes])
+    # permutation: same ids, same residue multiset per id
+    assert sorted(merged.ids.tolist()) == sorted(db.ids.tolist())
+    assert merged.total_residues == db.total_residues
+    # sorted: concatenated keys are non-decreasing
+    assert np.all(np.diff(merged.parent_mz_keys()) >= 0)
+    # content integrity: each sequence's residues unchanged
+    original = {int(db.ids[i]): db.sequence_str(i) for i in range(len(db))}
+    for i in range(len(merged)):
+        assert merged.sequence_str(i) == original[int(merged.ids[i])]

@@ -1,0 +1,93 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.algorithm == "algorithm_a"
+        assert args.ranks == 4
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "-a", "nope"])
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "db.fasta"
+        assert main(["generate", str(out), "-n", "15"]) == 0
+        assert out.exists()
+        assert "15 sequences" in capsys.readouterr().out
+
+    def test_generate_named_dataset(self, tmp_path):
+        out = tmp_path / "h.fasta"
+        assert main(["generate", str(out), "-n", "10", "--dataset", "human"]) == 0
+
+    def test_search_prints_hits(self, capsys):
+        rc = main(["search", "-n", "100", "-m", "5", "-p", "2", "--show", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "algorithm_a p=2" in out
+        assert "query" in out
+
+    def test_validate_passes(self, capsys):
+        rc = main(["validate", "-n", "60", "-m", "6", "-p", "3"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_scaling_table_rendered(self, capsys):
+        rc = main(
+            ["scaling", "--sizes", "200,400", "--ranks-list", "1,2", "-m", "10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run-times" in out
+        assert "Efficiency" in out
+
+    def test_compare_command(self, capsys):
+        rc = main(
+            [
+                "compare", "-n", "100", "-m", "6", "-p", "2",
+                "--algorithms", "algorithm_a,xbang",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@1" in out
+        assert "xbang" in out
+
+    def test_timeline_command(self, capsys):
+        rc = main(["timeline", "-n", "150", "-m", "8", "-p", "3", "--width", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "P0" in out and "#" in out
+
+    def test_advise_command(self, capsys):
+        rc = main(["advise", "--sequences", "500000", "-p", "8"])
+        assert rc == 0
+        assert "master_worker" in capsys.readouterr().out
+
+    def test_report_command(self, capsys, tmp_path):
+        out_dir = tmp_path / "bench_out"
+        out_dir.mkdir()
+        (out_dir / "table2.txt").write_text("Table II content\n")
+        (out_dir / "custom.txt").write_text("extra\n")
+        target = tmp_path / "REPORT.md"
+        rc = main(["report", "--output-dir", str(out_dir), "--output", str(target)])
+        assert rc == 0
+        text = target.read_text()
+        assert "Table II content" in text
+        assert "## custom" in text
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        rc = main(["report", "--output-dir", str(tmp_path / "nope"), "--output", str(tmp_path / "r.md")])
+        assert rc == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the metagenomic community workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.community import Community, CommunitySpec, build_community, community_queries
+
+
+@pytest.fixture(scope="module")
+def community():
+    return build_community(
+        CommunitySpec(num_organisms=10, proteins_per_organism=50, sequenced_fraction=0.6, seed=5)
+    )
+
+
+class TestSpec:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CommunitySpec(num_organisms=0)
+        with pytest.raises(ValueError):
+            CommunitySpec(sequenced_fraction=0.0)
+        with pytest.raises(ValueError):
+            CommunitySpec(proteins_per_organism=0)
+
+
+class TestBuildCommunity:
+    def test_reference_is_sequenced_fraction(self, community):
+        assert int(community.sequenced.sum()) == 6
+        expected = sum(
+            len(org) for org, seq in zip(community.organisms, community.sequenced) if seq
+        )
+        assert len(community.reference) == expected
+
+    def test_abundances_normalized_and_skewed(self, community):
+        assert community.abundances.sum() == pytest.approx(1.0)
+        assert community.abundances.max() > 2.0 / len(community.organisms)
+
+    def test_most_abundant_taxa_are_sequenced(self, community):
+        top = int(np.argmax(community.abundances))
+        assert community.sequenced[top]
+
+    def test_reference_ids_unique(self, community):
+        ids = community.reference.ids
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_deterministic(self):
+        spec = CommunitySpec(num_organisms=5, proteins_per_organism=20, seed=9)
+        a = build_community(spec)
+        b = build_community(spec)
+        assert a.reference == b.reference
+        assert np.array_equal(a.abundances, b.abundances)
+
+    def test_organisms_have_distinct_compositions(self, community):
+        means = [org.total_residues / len(org) for org in community.organisms]
+        assert max(means) - min(means) > 10  # length biases differ by taxon
+
+
+class TestCommunityQueries:
+    def test_shapes_and_labels(self, community):
+        spectra, targets, seq = community_queries(community, 25, seed=6)
+        assert len(spectra) == len(targets) == 25
+        assert seq.dtype == bool
+        assert [s.query_id for s in spectra] == list(range(25))
+
+    def test_abundance_biased_sampling(self):
+        # an extremely skewed community: nearly all queries from the top taxon
+        community = build_community(
+            CommunitySpec(num_organisms=6, proteins_per_organism=30, abundance_sigma=3.0, seed=7)
+        )
+        _s, _t, seq = community_queries(community, 40, seed=8)
+        # the dominant taxon is sequenced, so most queries are identifiable
+        assert seq.mean() > 0.5
+
+    def test_unsequenced_targets_not_findable(self, community):
+        """Queries from unsequenced taxa should fail to identify — the
+        metagenomic dark-matter phenomenon."""
+        from repro.analysis.quality import recovery
+        from repro.core.config import SearchConfig
+        from repro.core.search import search_serial
+
+        spectra, targets, seq = community_queries(community, 30, seed=9)
+        report = search_serial(community.reference, spectra, SearchConfig(tau=5))
+        dark = [k for k in range(30) if not seq[k]]
+        if not dark:
+            pytest.skip("sampling produced no dark-matter queries")
+        dark_result = recovery(
+            community.reference,
+            report,
+            [spectra[k] for k in dark],
+            [targets[k] for k in dark],
+            k=5,
+        )
+        assert dark_result.recall_at_k == 0.0
+
+    def test_sequenced_targets_findable(self, community):
+        from repro.analysis.quality import recovery
+        from repro.core.config import SearchConfig
+        from repro.core.search import search_serial
+
+        spectra, targets, seq = community_queries(community, 30, seed=9)
+        report = search_serial(community.reference, spectra, SearchConfig(tau=5))
+        known = [k for k in range(30) if seq[k]]
+        result = recovery(
+            community.reference,
+            report,
+            [spectra[k] for k in known],
+            [targets[k] for k in known],
+            k=5,
+        )
+        assert result.recall_at_k > 0.7

@@ -1,0 +1,75 @@
+"""Unit tests for the virtual-time cost model."""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.scoring.hyperscore import HyperScorer
+from repro.scoring.likelihood import LikelihoodRatioScorer
+from repro.scoring.shared_peaks import SharedPeakScorer
+from repro.workloads.synthetic import generate_database
+
+
+class TestCostModel:
+    def test_rho_scales_with_scorer_cost(self):
+        cost = CostModel()
+        assert cost.rho(LikelihoodRatioScorer()) > cost.rho(HyperScorer())
+        assert cost.rho(SharedPeakScorer()) == pytest.approx(cost.rho_base)
+
+    def test_evaluation_time_linear_in_candidates(self):
+        cost = CostModel()
+        scorer = LikelihoodRatioScorer()
+        assert cost.evaluation_time(2000, scorer) == pytest.approx(
+            2 * cost.evaluation_time(1000, scorer)
+        )
+
+    def test_negative_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().evaluation_time(-1, SharedPeakScorer())
+
+    def test_paper_calibration_regime(self):
+        """The defaults must keep the effective rho near the paper's
+        implied ~150-200 us per candidate for the likelihood model."""
+        cost = CostModel()
+        rho = cost.rho(LikelihoodRatioScorer())
+        assert 100e-6 < rho < 300e-6
+
+    def test_count_reduce_grows_linearly_in_p(self):
+        cost = CostModel()
+        t8 = cost.count_reduce_time(8, 300_000)
+        t64 = cost.count_reduce_time(64, 300_000)
+        assert t64 / t8 == pytest.approx(63 / 7)
+        assert cost.count_reduce_time(1, 300_000) == 0.0
+
+    def test_load_time_components(self):
+        cost = CostModel()
+        assert cost.load_time(10**6, 100) == pytest.approx(
+            cost.load_per_byte * 10**6 + cost.query_load_cost * 100
+        )
+
+
+class TestMemoryFootprint:
+    def test_database_bytes_includes_metadata(self):
+        cost = CostModel()
+        assert cost.database_bytes(10, 3000) == 3000 + 10 * cost.metadata_bytes_per_sequence
+
+    def test_shard_bytes_matches_database_bytes(self):
+        db = generate_database(20, seed=1)
+        cost = CostModel()
+        assert cost.shard_bytes(db) == cost.database_bytes(len(db), db.total_residues)
+
+    def test_replicated_limit_matches_paper(self):
+        """One constant, two paper claims (Section I & III):
+        ~1.27M sequences max per 1 GB rank with the full database."""
+        cost = CostModel()
+        avg_len = 314.44
+        per_seq = avg_len + cost.metadata_bytes_per_sequence
+        max_seqs = (1 << 30) / per_seq
+        assert 1.15e6 < max_seqs < 1.45e6
+
+    def test_distributed_scaling_matches_paper(self):
+        """~420K extra sequences per added rank with three O(N/p) buffers."""
+        cost = CostModel()
+        avg_len = 314.44
+        per_seq_three_buffers = 3 * (avg_len + cost.metadata_bytes_per_sequence)
+        seqs_per_rank = (1 << 30) / per_seq_three_buffers
+        assert 380e3 < seqs_per_rank < 480e3

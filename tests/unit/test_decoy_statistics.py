@@ -1,0 +1,133 @@
+"""Unit tests for decoy databases and FDR statistics."""
+
+import numpy as np
+import pytest
+
+from repro.chem.decoy import (
+    DECOY_ID_OFFSET,
+    is_decoy_id,
+    reverse_decoy,
+    shuffle_decoy,
+    with_decoys,
+)
+from repro.chem.protein import ProteinDatabase
+from repro.scoring.statistics import (
+    ScoredIdentification,
+    accepted_at_fdr,
+    fdr_curve,
+    score_threshold_at_fdr,
+    top_hits_with_labels,
+)
+from repro.scoring.hits import Hit
+
+
+@pytest.fixture()
+def db():
+    return ProteinDatabase.from_sequences(["MKTAYIAK", "PEPTIDER", "GWGWGWK"])
+
+
+class TestDecoys:
+    def test_reverse_reverses(self, db):
+        decoys = reverse_decoy(db)
+        assert decoys.sequence_str(0) == "KAIYATKM"
+
+    def test_reverse_preserves_masses(self, db):
+        assert np.allclose(reverse_decoy(db).parent_masses(), db.parent_masses())
+
+    def test_shuffle_preserves_composition(self, db):
+        decoys = shuffle_decoy(db, seed=4)
+        for i in range(len(db)):
+            assert sorted(decoys.sequence_str(i)) == sorted(db.sequence_str(i))
+
+    def test_shuffle_deterministic(self, db):
+        a = shuffle_decoy(db, seed=4)
+        b = shuffle_decoy(db, seed=4)
+        assert a == b
+
+    def test_decoy_ids_flagged(self, db):
+        decoys = reverse_decoy(db)
+        assert all(is_decoy_id(int(pid)) for pid in decoys.ids)
+        assert not any(is_decoy_id(int(pid)) for pid in db.ids)
+
+    def test_with_decoys_doubles(self, db):
+        combined = with_decoys(db)
+        assert len(combined) == 2 * len(db)
+        assert combined.total_residues == 2 * db.total_residues
+
+    def test_with_decoys_unknown_method(self, db):
+        with pytest.raises(ValueError):
+            with_decoys(db, method="mirror")
+
+    def test_decoy_names_prefixed(self, db):
+        decoys = reverse_decoy(db)
+        assert decoys.name(0).startswith("decoy_")
+
+
+def _hit(qid, score, decoy):
+    pid = (DECOY_ID_OFFSET if decoy else 0) + qid
+    return Hit(qid, score, pid, 0, 8, 1000.0)
+
+
+class TestFdr:
+    def test_labels_from_hits(self):
+        hits = {0: [_hit(0, 9.0, False)], 1: [_hit(1, 5.0, True)], 2: []}
+        labels = top_hits_with_labels(hits)
+        assert sorted(labels) == [(0, 9.0, False), (1, 5.0, True)]
+
+    def test_fdr_counts_decoys_above_threshold(self):
+        labels = [(0, 10.0, False), (1, 9.0, False), (2, 8.0, True), (3, 7.0, False)]
+        idents = fdr_curve(labels)
+        by_qid = {i.query_id: i for i in idents}
+        assert by_qid[0].q_value == 0.0
+        assert by_qid[1].q_value == 0.0
+        # after the decoy at 8.0: 1 decoy / 2 targets = 0.5; at 7.0: 1/3
+        assert by_qid[2].q_value == pytest.approx(1 / 3)
+        assert by_qid[3].q_value == pytest.approx(1 / 3)
+
+    def test_q_values_monotone_in_rank(self):
+        rng = np.random.default_rng(1)
+        labels = [(i, float(s), bool(rng.random() < 0.3)) for i, s in enumerate(rng.random(50))]
+        idents = fdr_curve(labels)
+        qs = [i.q_value for i in idents]  # sorted by decreasing score
+        assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_accept_at_fdr(self):
+        labels = [(0, 10.0, False), (1, 9.0, True), (2, 8.0, False)]
+        idents = fdr_curve(labels)
+        strict = accepted_at_fdr(idents, fdr=0.0)
+        assert [i.query_id for i in strict] == [0]
+        loose = accepted_at_fdr(idents, fdr=1.0)
+        assert {i.query_id for i in loose} == {0, 2}
+
+    def test_threshold(self):
+        labels = [(0, 10.0, False), (1, 9.0, True), (2, 8.0, False)]
+        idents = fdr_curve(labels)
+        assert score_threshold_at_fdr(idents, 0.0) == 10.0
+        assert score_threshold_at_fdr(idents, 1.0) == 8.0
+
+    def test_no_acceptances(self):
+        idents = [ScoredIdentification(0, 5.0, True, 1.0)]
+        assert accepted_at_fdr(idents, 0.01) == []
+        assert score_threshold_at_fdr(idents, 0.01) == float("inf")
+
+    def test_invalid_fdr(self):
+        with pytest.raises(ValueError):
+            accepted_at_fdr([], -0.1)
+
+
+class TestEndToEndFdr:
+    def test_true_queries_survive_fdr_decoy_queries_dont(self):
+        """Search a target+decoy DB; genuine spectra yield target hits
+        with low q-values, decoy spectra are filtered out."""
+        from repro.core.config import SearchConfig
+        from repro.core.search import search_serial
+        from repro.workloads.queries import QueryWorkload
+        from repro.workloads.synthetic import generate_database
+
+        targets_db = generate_database(150, seed=80)
+        combined = with_decoys(targets_db)
+        true_q, _ = QueryWorkload(num_queries=15, seed=81, source=targets_db).build()
+        report = search_serial(combined, true_q, SearchConfig(tau=3))
+        idents = fdr_curve(top_hits_with_labels(report.hits))
+        accepted = accepted_at_fdr(idents, fdr=0.05)
+        assert len(accepted) >= 12, "most genuine queries should pass 5% FDR"

@@ -1,0 +1,100 @@
+"""Unit tests for repro.chem.fasta, including the byte-chunk loading path."""
+
+import io
+
+import pytest
+
+from repro.chem.fasta import parse_fasta, read_fasta, read_fasta_chunk, write_fasta
+from repro.chem.protein import ProteinDatabase, ProteinRecord
+from repro.workloads.synthetic import generate_database
+
+
+class TestParse:
+    def test_basic(self):
+        records = parse_fasta(">a\nPEPTIDE\n>b\nKR\n")
+        assert records == [ProteinRecord("a", "PEPTIDE"), ProteinRecord("b", "KR")]
+
+    def test_multiline_sequences_joined(self):
+        records = parse_fasta(">a\nPEP\nTIDE\n")
+        assert records[0].sequence == "PEPTIDE"
+
+    def test_blank_lines_ignored(self):
+        records = parse_fasta(">a\nPEP\n\nTIDE\n\n>b\nKR\n")
+        assert [r.sequence for r in records] == ["PEPTIDE", "KR"]
+
+    def test_content_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fasta("PEPTIDE\n>a\nKR\n")
+
+    def test_header_whitespace_stripped(self):
+        assert parse_fasta(">  spaced  \nAA\n")[0].name == "spaced"
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path, tiny_db):
+        path = tmp_path / "db.fasta"
+        write_fasta(path, tiny_db)
+        loaded = read_fasta(path)
+        assert len(loaded) == len(tiny_db)
+        for i in range(len(tiny_db)):
+            assert loaded.sequence_str(i) == tiny_db.sequence_str(i)
+            assert loaded.name(i) == tiny_db.name(i)
+
+    def test_line_wrapping(self, tmp_path):
+        db = ProteinDatabase.from_sequences(["A" * 150])
+        path = tmp_path / "wrap.fasta"
+        write_fasta(path, db, width=60)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">seq0"
+        assert [len(line) for line in lines[1:]] == [60, 60, 30]
+
+    def test_stringio_handles(self):
+        db = ProteinDatabase.from_sequences(["PEPTIDE"])
+        buf = io.StringIO()
+        write_fasta(buf, db)
+        buf.seek(0)
+        assert read_fasta(buf).sequence_str(0) == "PEPTIDE"
+
+
+class TestChunkedReading:
+    """The paper's A1 loading rule: byte chunks with boundary repair."""
+
+    def _chunks_cover_exactly(self, path, p):
+        size = path.stat().st_size
+        bounds = [size * i // p for i in range(p + 1)]
+        names = []
+        for i in range(p):
+            for rec in read_fasta_chunk(path, bounds[i], bounds[i + 1]):
+                names.append(rec.name)
+        return names
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_every_record_read_exactly_once(self, tmp_path, p):
+        db = generate_database(40, seed=3)
+        path = tmp_path / "db.fasta"
+        write_fasta(path, db)
+        names = self._chunks_cover_exactly(path, p)
+        assert sorted(names) == sorted(db.name(i) for i in range(len(db)))
+        assert len(names) == len(set(names)), "a boundary record was duplicated"
+
+    def test_chunk_content_matches_whole_file(self, tmp_path):
+        db = generate_database(10, seed=4)
+        path = tmp_path / "db.fasta"
+        write_fasta(path, db)
+        size = path.stat().st_size
+        recs = read_fasta_chunk(path, 0, size)
+        whole = list(read_fasta(path))
+        assert recs == whole
+
+    def test_invalid_range_rejected(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        path.write_text(">a\nAA\n")
+        with pytest.raises(ValueError):
+            read_fasta_chunk(path, 5, 2)
+
+    def test_chunk_landing_mid_record_skips_it(self, tmp_path):
+        path = tmp_path / "two.fasta"
+        path.write_text(">first\nAAAA\n>second\nCCCC\n")
+        # start inside "first"'s sequence: only "second" belongs to us
+        recs = read_fasta_chunk(path, 8, path.stat().st_size)
+        assert [r.name for r in recs] == ["second"]

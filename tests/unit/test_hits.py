@@ -1,0 +1,105 @@
+"""Unit tests for Hit and TopHitList (the running top-tau list)."""
+
+import pytest
+
+from repro.scoring.hits import Hit, TopHitList, merge_hit_lists
+
+
+def make_hit(score, pid=0, start=0, stop=10, qid=0):
+    return Hit(query_id=qid, score=score, protein_id=pid, start=start, stop=stop, mass=1000.0)
+
+
+class TestHit:
+    def test_sort_key_orders_by_score_desc(self):
+        hits = sorted([make_hit(1.0), make_hit(3.0), make_hit(2.0)], key=Hit.sort_key)
+        assert [h.score for h in hits] == [3.0, 2.0, 1.0]
+
+    def test_ties_broken_structurally(self):
+        a = make_hit(1.0, pid=2)
+        b = make_hit(1.0, pid=1)
+        assert sorted([a, b], key=Hit.sort_key) == [b, a]
+
+    def test_length(self):
+        assert make_hit(1.0, start=3, stop=9).length == 6
+
+
+class TestTopHitList:
+    def test_keeps_best_tau(self):
+        hl = TopHitList(3)
+        for s in [5.0, 1.0, 3.0, 4.0, 2.0]:
+            hl.add(make_hit(s, pid=int(s)))
+        assert [h.score for h in hl.sorted_hits()] == [5.0, 4.0, 3.0]
+
+    def test_add_returns_retained_flag(self):
+        hl = TopHitList(1)
+        assert hl.add(make_hit(1.0, pid=1))
+        assert hl.add(make_hit(2.0, pid=2))
+        assert not hl.add(make_hit(0.5, pid=3))
+
+    def test_evaluated_counts_all_offers(self):
+        hl = TopHitList(1)
+        for s in range(5):
+            hl.add(make_hit(float(s), pid=s))
+        assert hl.evaluated == 5
+        assert len(hl) == 1
+
+    def test_order_independence(self):
+        """The paper's validation property: same hits in, same tau out."""
+        hits = [make_hit(float(s % 7), pid=s) for s in range(50)]
+        a = TopHitList(10)
+        b = TopHitList(10)
+        for h in hits:
+            a.add(h)
+        for h in reversed(hits):
+            b.add(h)
+        assert a.sorted_hits() == b.sorted_hits()
+
+    def test_tie_at_cutoff_resolved_deterministically(self):
+        # four same-score hits fighting for three slots
+        hits = [make_hit(1.0, pid=p) for p in (3, 1, 2, 0)]
+        a, b = TopHitList(3), TopHitList(3)
+        for h in hits:
+            a.add(h)
+        for h in sorted(hits, key=Hit.sort_key):
+            b.add(h)
+        assert a.sorted_hits() == b.sorted_hits()
+        assert [h.protein_id for h in a.sorted_hits()] == [0, 1, 2]
+
+    def test_would_retain(self):
+        hl = TopHitList(2)
+        hl.add(make_hit(5.0, pid=0))
+        hl.add(make_hit(3.0, pid=1))
+        assert hl.would_retain(4.0)
+        assert hl.would_retain(3.0)  # tie must be admitted for resolution
+        assert not hl.would_retain(2.9)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            TopHitList(0)
+
+    def test_merge(self):
+        a, b = TopHitList(3), TopHitList(3)
+        for s in (1.0, 2.0, 3.0):
+            a.add(make_hit(s, pid=int(s)))
+        for s in (4.0, 5.0):
+            b.add(make_hit(s, pid=int(s)))
+        a.merge(b)
+        assert [h.score for h in a.sorted_hits()] == [5.0, 4.0, 3.0]
+        assert a.evaluated == 5
+
+    def test_merge_tau_mismatch(self):
+        with pytest.raises(ValueError):
+            TopHitList(2).merge(TopHitList(3))
+
+
+class TestMergeHitLists:
+    def test_global_top_from_shards(self):
+        shard1 = [make_hit(5.0, pid=1), make_hit(1.0, pid=2)]
+        shard2 = [make_hit(4.0, pid=3), make_hit(3.0, pid=4)]
+        merged = merge_hit_lists([shard1, shard2], tau=3)
+        assert [h.score for h in merged] == [5.0, 4.0, 3.0]
+
+    def test_input_order_irrelevant(self):
+        shard1 = [make_hit(float(i), pid=i) for i in range(5)]
+        shard2 = [make_hit(float(i) + 0.5, pid=10 + i) for i in range(5)]
+        assert merge_hit_lists([shard1, shard2], 4) == merge_hit_lists([shard2, shard1], 4)

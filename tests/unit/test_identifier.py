@@ -1,0 +1,88 @@
+"""Unit tests for the PeptideIdentifier session API."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.identifier import PeptideIdentifier
+from repro.core.search import search_serial
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_rejects_modeled_execution(self, tiny_db):
+        with pytest.raises(ConfigError):
+            PeptideIdentifier(tiny_db, SearchConfig(execution=ExecutionMode.MODELED))
+
+    def test_rejects_unknown_mode(self, tiny_db):
+        with pytest.raises(ConfigError):
+            PeptideIdentifier(tiny_db, mode="quantum")
+
+    def test_repr(self, tiny_db):
+        assert "PeptideIdentifier" in repr(PeptideIdentifier(tiny_db))
+
+    def test_index_bytes_positive_serial(self, tiny_db):
+        assert PeptideIdentifier(tiny_db).index_bytes > 0
+
+
+class TestIdentify:
+    def test_matches_run_search_output(self, tiny_db, tiny_queries, config):
+        engine = PeptideIdentifier(tiny_db, config)
+        results = engine.identify(tiny_queries)
+        reference = search_serial(tiny_db, tiny_queries, config)
+        assert len(results) == len(tiny_queries)
+        for res, q in zip(results, tiny_queries):
+            assert res.query_id == q.query_id
+            assert res.hits == reference.hits[q.query_id]
+
+    def test_batches_accumulate_counters(self, tiny_db, tiny_queries, config):
+        engine = PeptideIdentifier(tiny_db, config)
+        engine.identify(tiny_queries[:6])
+        engine.identify(tiny_queries[6:])
+        assert engine.total_queries == len(tiny_queries)
+        reference = search_serial(tiny_db, tiny_queries, config)
+        assert engine.total_candidates == reference.candidates_evaluated
+
+    def test_identify_one(self, tiny_db, tiny_queries, config):
+        engine = PeptideIdentifier(tiny_db, config)
+        res = engine.identify_one(tiny_queries[0])
+        assert res.query_id == tiny_queries[0].query_id
+
+    def test_stream_yields_in_order(self, tiny_db, tiny_queries, config):
+        engine = PeptideIdentifier(tiny_db, config)
+        streamed = list(engine.stream(tiny_queries, batch_size=5))
+        assert [r.query_id for r in streamed] == [q.query_id for q in tiny_queries]
+
+    def test_stream_invalid_batch(self, tiny_db, tiny_queries, config):
+        engine = PeptideIdentifier(tiny_db, config)
+        with pytest.raises(ConfigError):
+            list(engine.stream(tiny_queries, batch_size=0))
+
+    def test_expect_values_when_estimable(self, tiny_db, config):
+        """With a wide window (many scored candidates), the top hit of a
+        genuine query earns a small e-value."""
+        from repro.workloads.queries import QueryWorkload
+
+        spectra, _ = QueryWorkload(num_queries=4, seed=5, source=tiny_db).build()
+        wide = SearchConfig(tau=200, delta=30.0)
+        engine = PeptideIdentifier(tiny_db, wide)
+        results = engine.identify(spectra)
+        estimable = [r for r in results if r.expect is not None]
+        assert estimable, "expected at least one e-value"
+        assert min(r.expect for r in estimable) < 10.0
+
+    def test_expect_none_with_few_candidates(self, tiny_db, foreign_queries):
+        narrow = SearchConfig(tau=5, delta=0.001)
+        engine = PeptideIdentifier(tiny_db, narrow)
+        results = engine.identify(foreign_queries)
+        assert all(r.expect is None for r in results)
+
+
+class TestMultiprocessMode:
+    def test_same_hits_as_serial(self, tiny_db, tiny_queries, config):
+        serial = PeptideIdentifier(tiny_db, config).identify(tiny_queries)
+        multi = PeptideIdentifier(
+            tiny_db, config, mode="multiprocess", num_workers=2
+        ).identify(tiny_queries)
+        for a, b in zip(serial, multi):
+            assert a.hits == b.hits

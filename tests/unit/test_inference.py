@@ -1,0 +1,110 @@
+"""Unit + integration tests for protein inference."""
+
+import numpy as np
+import pytest
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import SearchConfig
+from repro.core.inference import ProteinGroup, infer_proteins, protein_recovery
+from repro.core.results import SearchReport
+from repro.core.search import search_serial
+from repro.scoring.hits import Hit
+
+
+def report_of(hits):
+    return SearchReport("test", 1, hits, 0, 1.0)
+
+
+@pytest.fixture()
+def db():
+    return ProteinDatabase.from_sequences(
+        [
+            "MKTAYIAKQRPEPTIDEK",   # protein 0
+            "GWGWGWKHHHHHHK",       # protein 1
+            "MKTAYIAKQRSSSSSSK",    # protein 2: shares a prefix with 0
+        ]
+    )
+
+
+def hit(qid, score, pid, start, stop):
+    return Hit(qid, score, pid, start, stop, 1000.0)
+
+
+class TestInference:
+    def test_groups_by_protein(self, db):
+        hits = {
+            0: [hit(0, 10.0, 0, 0, 8)],
+            1: [hit(1, 8.0, 0, 10, 18)],
+            2: [hit(2, 9.0, 1, 0, 7)],
+        }
+        groups = infer_proteins(report_of(hits), db)
+        by_id = {g.protein_id: g for g in groups}
+        assert set(by_id) == {0, 1}
+        assert by_id[0].num_unique == 2
+        assert by_id[0].score == pytest.approx(18.0)
+
+    def test_shared_peptides_flagged_and_downweighted(self, db):
+        # the identical prefix MKTAYIAK occurs in proteins 0 and 2
+        hits = {
+            0: [hit(0, 10.0, 0, 0, 8)],
+            1: [hit(1, 10.0, 2, 0, 8)],
+        }
+        groups = infer_proteins(report_of(hits), db)
+        for g in groups:
+            assert g.shared_peptides == ["MKTAYIAK"]
+            assert g.score == pytest.approx(5.0)  # 0.5 weight
+
+    def test_parsimony_absorbs_subset_protein(self, db):
+        # protein 2 only has the shared peptide; protein 0 has it plus a
+        # unique one -> 2 should be subsumed into 0
+        hits = {
+            0: [hit(0, 10.0, 0, 0, 8)],
+            1: [hit(1, 10.0, 2, 0, 8)],
+            2: [hit(2, 9.0, 0, 10, 18)],
+        }
+        groups = infer_proteins(report_of(hits), db)
+        ids = {g.protein_id for g in groups}
+        assert 0 in ids and 2 not in ids
+        zero = next(g for g in groups if g.protein_id == 0)
+        assert 2 in zero.subsumed
+
+    def test_score_cutoff_excludes_weak_evidence(self, db):
+        hits = {0: [hit(0, 1.0, 0, 0, 8)], 1: [hit(1, 50.0, 1, 0, 7)]}
+        groups = infer_proteins(report_of(hits), db, score_cutoff=10.0)
+        assert {g.protein_id for g in groups} == {1}
+
+    def test_two_peptide_rule(self, db):
+        hits = {
+            0: [hit(0, 10.0, 0, 0, 8)],
+            1: [hit(1, 9.0, 0, 10, 18)],
+            2: [hit(2, 9.0, 1, 0, 7)],  # protein 1: single peptide
+        }
+        groups = infer_proteins(report_of(hits), db, min_peptides=2)
+        assert {g.protein_id for g in groups} == {0}
+
+    def test_empty_report(self, db):
+        assert infer_proteins(report_of({}), db) == []
+
+    def test_recovery_metrics(self):
+        groups = [ProteinGroup(0, 1.0, ["A"]), ProteinGroup(5, 1.0, ["B"])]
+        recall, precision = protein_recovery(groups, [0, 1])
+        assert recall == 0.5
+        assert precision == 0.5
+        assert protein_recovery([], []) == (0.0, 0.0)
+
+
+class TestEndToEnd:
+    def test_expressed_proteins_recovered(self):
+        """Spectra from a handful of 'expressed' proteins must yield an
+        inferred list dominated by exactly those proteins."""
+        from repro.workloads.queries import QueryWorkload
+        from repro.workloads.synthetic import generate_database
+
+        db = generate_database(200, seed=65)
+        expressed = db.subset(np.arange(8))  # only the first 8 are expressed
+        spectra, _ = QueryWorkload(num_queries=24, seed=66, source=expressed).build()
+        report = search_serial(db, spectra, SearchConfig(tau=3))
+        groups = infer_proteins(report, db, score_cutoff=5.0)
+        recall, precision = protein_recovery(groups, range(8))
+        assert recall >= 0.6
+        assert precision >= 0.8

@@ -1,0 +1,82 @@
+"""Unit tests for the spectral library."""
+
+import numpy as np
+import pytest
+
+from repro.chem.amino_acids import encode_sequence
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.theoretical import theoretical_spectrum
+
+
+class TestSpectralLibrary:
+    def test_add_and_lookup(self):
+        lib = SpectralLibrary()
+        lib.add("PEPTIDEK", np.array([100.0, 200.0]), np.array([1.0, 2.0]))
+        entry = lib.lookup("PEPTIDEK")
+        assert entry is not None
+        assert list(entry[0]) == [100.0, 200.0]
+
+    def test_lookup_miss_returns_none(self):
+        lib = SpectralLibrary()
+        assert lib.lookup("MISSING") is None
+
+    def test_hit_and_miss_counters(self):
+        lib = SpectralLibrary()
+        lib.add("A" * 8, np.array([1.0]), np.array([1.0]))
+        lib.lookup("A" * 8)
+        lib.lookup("NOPE")
+        assert lib.hits == 1 and lib.misses == 1
+        assert lib.hit_rate == pytest.approx(0.5)
+
+    def test_add_sorts_peaks(self):
+        lib = SpectralLibrary()
+        lib.add("AAA", np.array([300.0, 100.0]), np.array([3.0, 1.0]))
+        mz, inten = lib.lookup("AAA")
+        assert list(mz) == [100.0, 300.0]
+        assert list(inten) == [1.0, 3.0]
+
+    def test_entries_read_only(self):
+        lib = SpectralLibrary()
+        lib.add("AAA", np.array([1.0]), np.array([1.0]))
+        mz, _ = lib.lookup("AAA")
+        with pytest.raises(ValueError):
+            mz[0] = 2.0
+
+    def test_readding_replaces(self):
+        lib = SpectralLibrary()
+        lib.add("AAA", np.array([1.0]), np.array([1.0]))
+        lib.add("AAA", np.array([9.0]), np.array([9.0]))
+        assert len(lib) == 1
+        assert lib.lookup("AAA")[0][0] == 9.0
+
+    def test_length_mismatch_rejected(self):
+        lib = SpectralLibrary()
+        with pytest.raises(ValueError):
+            lib.add("AAA", np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_model_spectrum_prefers_library(self):
+        lib = SpectralLibrary()
+        enc = encode_sequence("PEPTIDEK")
+        lib.add("PEPTIDEK", np.array([123.0]), np.array([1.0]))
+        mz, _ = lib.model_spectrum(enc)
+        assert list(mz) == [123.0]
+
+    def test_model_spectrum_falls_back_to_theory(self):
+        lib = SpectralLibrary()
+        enc = encode_sequence("PEPTIDEK")
+        mz, inten = lib.model_spectrum(enc)
+        t_mz, t_inten = theoretical_spectrum(enc)
+        assert np.allclose(mz, t_mz)
+        assert np.allclose(inten, t_inten)
+
+    def test_from_peptides_builds_theoretical_entries(self):
+        peps = [encode_sequence("PEPTIDEK"), encode_sequence("MKTAYIAK")]
+        lib = SpectralLibrary.from_peptides(peps)
+        assert len(lib) == 2
+        assert "PEPTIDEK" in lib
+
+    def test_contains(self):
+        lib = SpectralLibrary()
+        lib.add("AAA", np.array([1.0]), np.array([1.0]))
+        assert "AAA" in lib
+        assert "BBB" not in lib

@@ -1,0 +1,104 @@
+"""Unit tests for the prefix/suffix mass index."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.mass_index import CandidateSpans, MassIndex
+from repro.chem.peptide import peptide_mass
+from repro.chem.protein import ProteinDatabase
+
+
+@pytest.fixture()
+def db():
+    return ProteinDatabase.from_sequences(["MKTAYIAK", "PEPTIDE", "GG"])
+
+
+@pytest.fixture()
+def index(db):
+    return MassIndex(db)
+
+
+def brute_force_candidates(db, lo, hi):
+    """Reference enumeration: every prefix and suffix, deduplicated."""
+    found = set()
+    for i in range(len(db)):
+        seq = db.sequence(i)
+        for length in range(1, len(seq) + 1):
+            if lo <= peptide_mass(seq[:length]) <= hi:
+                found.add((i, 0, length))
+            if length < len(seq):  # full-length counted once, as prefix
+                if lo <= peptide_mass(seq[-length:]) <= hi:
+                    found.add((i, len(seq) - length, len(seq)))
+    return found
+
+
+class TestWindows:
+    @pytest.mark.parametrize(
+        "window",
+        [(0.0, 1e9), (300.0, 500.0), (700.0, 900.0), (100.0, 100.0), (1e6, 2e6)],
+    )
+    def test_enumeration_matches_brute_force(self, db, index, window):
+        lo, hi = window
+        spans = index.candidates_in_window(lo, hi)
+        got = {
+            (int(spans.seq_index[k]), int(spans.start[k]), int(spans.stop[k]))
+            for k in range(len(spans))
+        }
+        assert got == brute_force_candidates(db, lo, hi)
+
+    @pytest.mark.parametrize("window", [(0.0, 1e9), (300.0, 500.0), (800.0, 950.0)])
+    def test_count_matches_enumeration(self, index, window):
+        lo, hi = window
+        assert index.count_in_window(lo, hi) == len(index.candidates_in_window(lo, hi))
+
+    def test_masses_reported_correctly(self, db, index):
+        spans = index.candidates_in_window(0.0, 1e9)
+        for k in range(len(spans)):
+            seq = db.sequence(int(spans.seq_index[k]))
+            sub = seq[int(spans.start[k]) : int(spans.stop[k])]
+            assert spans.mass[k] == pytest.approx(peptide_mass(sub))
+
+    def test_no_duplicate_spans(self, index):
+        spans = index.candidates_in_window(0.0, 1e9)
+        keys = {
+            (int(spans.seq_index[k]), int(spans.start[k]), int(spans.stop[k]))
+            for k in range(len(spans))
+        }
+        assert len(keys) == len(spans)
+
+    def test_total_span_count(self, db, index):
+        # distinct spans = 2N - n (every position is a prefix end and a
+        # suffix start; full-length spans counted once)
+        expected = 2 * db.total_residues - len(db)
+        assert index.count_in_window(0.0, 1e9) == expected
+
+    def test_empty_window(self, index):
+        assert index.count_in_window(5.0, 6.0) == 0
+        assert len(index.candidates_in_window(5.0, 6.0)) == 0
+
+    def test_count_many_vectorized(self, index):
+        lows = np.array([0.0, 300.0, 1e6])
+        highs = np.array([1e9, 500.0, 2e6])
+        counts = index.count_many(lows, highs)
+        for k in range(3):
+            assert counts[k] == index.count_in_window(lows[k], highs[k])
+
+    def test_nbytes_positive(self, index):
+        assert index.nbytes > 0
+
+
+class TestCandidateSpans:
+    def test_empty(self):
+        assert len(CandidateSpans.empty()) == 0
+
+    def test_concat(self):
+        a = CandidateSpans(
+            np.array([0]), np.array([0]), np.array([3]), np.array([1.0]), np.array([0.0])
+        )
+        b = CandidateSpans.empty()
+        c = CandidateSpans.concat([a, b, a])
+        assert len(c) == 2
+        assert list(c.seq_index) == [0, 0]
+
+    def test_concat_empty_list(self):
+        assert len(CandidateSpans.concat([])) == 0

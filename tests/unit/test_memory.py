@@ -1,0 +1,73 @@
+"""Unit tests for per-rank memory accounting."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.simmpi.memory import MemoryTracker
+
+
+class TestMemoryTracker:
+    def test_alloc_and_peak(self):
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("a", 400)
+        mem.alloc("b", 500)
+        assert mem.in_use == 900
+        assert mem.peak == 900
+        mem.free("a")
+        assert mem.in_use == 500
+        assert mem.peak == 900  # peak is sticky
+
+    def test_over_limit_raises(self):
+        mem = MemoryTracker(3, 1000)
+        mem.alloc("a", 800)
+        with pytest.raises(OutOfMemoryError) as exc:
+            mem.alloc("b", 300)
+        assert exc.value.rank == 3
+        assert exc.value.requested == 300
+        assert exc.value.limit == 1000
+
+    def test_failed_alloc_leaves_state_unchanged(self):
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("a", 800)
+        with pytest.raises(OutOfMemoryError):
+            mem.alloc("b", 300)
+        assert mem.in_use == 800
+        assert "b" not in mem.labels()
+
+    def test_realloc_replaces_label(self):
+        """The paper's Drecv/Dcomp buffers are overwritten every iteration."""
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("Drecv", 600)
+        mem.alloc("Drecv", 700)  # replacement, not accumulation
+        assert mem.in_use == 700
+
+    def test_realloc_larger_respects_limit(self):
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("Drecv", 600)
+        with pytest.raises(OutOfMemoryError):
+            mem.alloc("Drecv", 1100)
+        assert mem.usage("Drecv") == 600
+
+    def test_exact_fit_allowed(self):
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("a", 1000)
+        assert mem.in_use == 1000
+
+    def test_free_unknown_label(self):
+        with pytest.raises(KeyError):
+            MemoryTracker(0, 100).free("ghost")
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(0, 100).alloc("a", -1)
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(0, 0)
+
+    def test_labels_snapshot(self):
+        mem = MemoryTracker(0, 1000)
+        mem.alloc("a", 1)
+        labels = mem.labels()
+        labels["a"] = 999  # mutating the snapshot must not affect tracker
+        assert mem.usage("a") == 1

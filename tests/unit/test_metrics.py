@@ -1,0 +1,104 @@
+"""Unit tests for scaling metrics and the paper's anchor rule."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    chained_speedup,
+    efficiency,
+    mean_and_std,
+    scaling_table,
+    speedup,
+)
+
+
+class TestBasics:
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_efficiency(self):
+        assert efficiency(100.0, 25.0, 8) == 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+    def test_chained_speedup_matches_paper_rule(self):
+        """S(p) = (T(8)/T(p)) * 4.51 for sizes with no 1-rank run."""
+        assert chained_speedup(100.0, 25.0, 4.51) == pytest.approx(18.04)
+
+    def test_chained_invalid(self):
+        with pytest.raises(ValueError):
+            chained_speedup(1.0, 1.0, 0.0)
+
+
+class TestScalingTable:
+    def test_real_speedup_when_t1_present(self):
+        run_times = {1000: {1: 100.0, 2: 50.0, 4: 30.0}}
+        pts = scaling_table(run_times)
+        by_p = {p.num_ranks: p for p in pts}
+        assert by_p[2].speedup == 2.0
+        assert by_p[4].efficiency == pytest.approx(100.0 / 30.0 / 4)
+
+    def test_anchor_rule_for_large_sizes(self):
+        run_times = {
+            1000: {1: 100.0, 8: 25.0},        # anchor speedup 4.0
+            400_000: {8: 800.0, 16: 400.0},   # no 1-rank run
+        }
+        pts = scaling_table(run_times, anchor_rank=8)
+        big = {p.num_ranks: p for p in pts if p.database_size == 400_000}
+        assert big[8].speedup == pytest.approx(4.0)
+        assert big[16].speedup == pytest.approx(8.0)
+
+    def test_anchor_is_mean_over_small_sizes(self):
+        run_times = {
+            1: {1: 100.0, 8: 25.0},   # speedup 4
+            2: {1: 100.0, 8: 20.0},   # speedup 5
+            400_000: {8: 100.0, 16: 50.0},
+        }
+        pts = scaling_table(run_times, anchor_rank=8)
+        big = [p for p in pts if p.database_size == 400_000 and p.num_ranks == 16]
+        assert big[0].speedup == pytest.approx(2.0 * 4.5)
+
+    def test_sizes_without_baseline_or_anchor_skipped(self):
+        pts = scaling_table({7: {16: 10.0}})
+        assert pts == []
+
+    def test_candidates_per_second_passthrough(self):
+        run_times = {10: {1: 10.0}}
+        cands = {10: {1: 500.0}}
+        pts = scaling_table(run_times, candidates_per_run=cands)
+        assert pts[0].candidates_per_second == 50.0
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+
+
+class TestSensitivityHelpers:
+    def test_perturbed_changes_one_field(self):
+        import dataclasses
+
+        from repro.analysis.sensitivity import _perturbed
+        from repro.core.costmodel import CostModel
+
+        base = CostModel()
+        out = _perturbed(base, "rho_base", 2.0)
+        assert out.rho_base == 2 * base.rho_base
+        for f in dataclasses.fields(CostModel):
+            if f.name != "rho_base":
+                assert getattr(out, f.name) == getattr(base, f.name)
+
+    def test_conclusion_check_all_hold(self):
+        from repro.analysis.sensitivity import ConclusionCheck
+
+        good = ConclusionCheck("x", 1.0, True, True, True, True, True)
+        bad = ConclusionCheck("x", 1.0, True, False, True, True, True)
+        assert good.all_hold and not bad.all_hold

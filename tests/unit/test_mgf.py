@@ -1,0 +1,106 @@
+"""Unit tests for MGF spectrum I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectrumError
+from repro.spectra.mgf import iter_mgf, read_mgf, write_mgf
+from repro.workloads.queries import generate_queries
+
+
+class TestRoundtrip:
+    def test_write_read_preserves_spectra(self, tmp_path):
+        spectra = generate_queries(8, seed=42)
+        path = tmp_path / "queries.mgf"
+        write_mgf(path, spectra)
+        loaded = read_mgf(path)
+        assert len(loaded) == 8
+        for a, b in zip(spectra, loaded):
+            assert b.query_id == a.query_id
+            assert b.charge == a.charge
+            assert b.precursor_mz == pytest.approx(a.precursor_mz, abs=1e-5)
+            assert b.num_peaks == a.num_peaks
+            assert np.allclose(b.mz, a.mz, atol=1e-4)
+            assert np.allclose(b.intensity, a.intensity, atol=1e-3)
+
+    def test_search_results_identical_after_roundtrip(self, tmp_path, tiny_db, config):
+        from repro.core.search import search_serial
+
+        spectra = generate_queries(5, seed=43)
+        path = tmp_path / "q.mgf"
+        write_mgf(path, spectra)
+        loaded = read_mgf(path)
+        a = search_serial(tiny_db, spectra, config)
+        b = search_serial(tiny_db, loaded, config)
+        # MGF quantizes m/z (8 decimals): identical hit sets; scores equal
+        # to quantization precision, with near-ties allowed to swap order
+        for qid in a.hits:
+            keys_a = {(h.protein_id, h.start, h.stop) for h in a.hits[qid]}
+            keys_b = {(h.protein_id, h.start, h.stop) for h in b.hits[qid]}
+            assert keys_a == keys_b
+            for ha, hb in zip(a.hits[qid], b.hits[qid]):
+                assert hb.score == pytest.approx(ha.score, abs=1e-3)
+
+    def test_stringio_handles(self):
+        spectra = generate_queries(2, seed=44)
+        buf = io.StringIO()
+        write_mgf(buf, spectra)
+        buf.seek(0)
+        assert len(read_mgf(buf)) == 2
+
+
+class TestParsing:
+    def test_metadata_preserved(self):
+        text = (
+            "BEGIN IONS\nTITLE=query 7\nPEPMASS=900.5 123.0\nCHARGE=2+\n"
+            "RTINSECONDS=88.2\n100.0 1.0\n200.0 2.0\nEND IONS\n"
+        )
+        [(spectrum, meta)] = list(iter_mgf(io.StringIO(text)))
+        assert spectrum.query_id == 7
+        assert spectrum.charge == 2
+        assert spectrum.precursor_mz == 900.5
+        assert meta["RTINSECONDS"] == "88.2"
+
+    def test_peak_without_intensity_defaults_to_one(self):
+        text = "BEGIN IONS\nPEPMASS=500\n100.0\nEND IONS\n"
+        [spectrum] = read_mgf(io.StringIO(text))
+        assert spectrum.intensity[0] == 1.0
+
+    def test_comments_and_blank_lines_tolerated(self):
+        text = "# exported\n\nBEGIN IONS\nPEPMASS=500\n\n100.0 1.0\nEND IONS\n\n"
+        assert len(read_mgf(io.StringIO(text))) == 1
+
+    def test_query_id_falls_back_to_index(self):
+        text = (
+            "BEGIN IONS\nTITLE=scan 12\nPEPMASS=500\n100.0 1\nEND IONS\n"
+            "BEGIN IONS\nTITLE=scan 13\nPEPMASS=600\n100.0 1\nEND IONS\n"
+        )
+        spectra = read_mgf(io.StringIO(text))
+        assert [s.query_id for s in spectra] == [0, 1]
+
+    def test_missing_pepmass_rejected(self):
+        with pytest.raises(SpectrumError, match="PEPMASS"):
+            read_mgf(io.StringIO("BEGIN IONS\n100.0 1\nEND IONS\n"))
+
+    def test_bad_charge_rejected(self):
+        text = "BEGIN IONS\nPEPMASS=500\nCHARGE=banana\n100.0 1\nEND IONS\n"
+        with pytest.raises(SpectrumError, match="CHARGE"):
+            read_mgf(io.StringIO(text))
+
+    def test_malformed_peak_rejected(self):
+        text = "BEGIN IONS\nPEPMASS=500\n1x0.0 oops\nEND IONS\n"
+        with pytest.raises(SpectrumError, match="malformed peak"):
+            read_mgf(io.StringIO(text))
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(SpectrumError, match="unterminated"):
+            read_mgf(io.StringIO("BEGIN IONS\nPEPMASS=500\n100.0 1\n"))
+
+    def test_nested_begin_rejected(self):
+        with pytest.raises(SpectrumError, match="nested"):
+            read_mgf(io.StringIO("BEGIN IONS\nBEGIN IONS\n"))
+
+    def test_empty_file(self):
+        assert read_mgf(io.StringIO("")) == []

@@ -1,0 +1,34 @@
+"""Tests for the mpi4py backend (skipped without an MPI stack)."""
+
+import importlib.util
+
+import pytest
+
+from repro.engines import mpi as mpi_backend
+
+HAS_MPI = importlib.util.find_spec("mpi4py") is not None
+
+
+class TestWithoutMpi:
+    @pytest.mark.skipif(HAS_MPI, reason="mpi4py present")
+    def test_helpful_error_without_mpi4py(self, tiny_db, tiny_queries):
+        with pytest.raises(RuntimeError, match="mpi4py"):
+            mpi_backend.run_mpi_search(tiny_db, tiny_queries)
+
+    def test_module_importable_without_mpi4py(self):
+        # importing the backend must never require mpi4py
+        assert hasattr(mpi_backend, "run_mpi_search")
+        assert hasattr(mpi_backend, "main")
+
+
+@pytest.mark.skipif(not HAS_MPI, reason="mpi4py not installed")
+class TestWithMpi:  # pragma: no cover - runs only on MPI hosts
+    def test_single_rank_matches_serial(self, small_db, tiny_queries):
+        from repro.core.config import SearchConfig
+        from repro.core.results import reports_equal
+        from repro.core.search import search_serial
+
+        cfg = SearchConfig(tau=10)
+        report = mpi_backend.run_mpi_search(small_db, tiny_queries, cfg)
+        assert report is not None
+        assert reports_equal(search_serial(small_db, tiny_queries, cfg), report)

@@ -1,0 +1,80 @@
+"""Unit tests for database/query partitioning (paper step A1)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.partition import partition_bounds, partition_database, partition_queries
+from repro.workloads.synthetic import generate_database
+
+
+class TestPartitionDatabase:
+    @pytest.mark.parametrize("p", [1, 2, 3, 7, 16])
+    def test_concat_reproduces_database(self, p):
+        db = generate_database(50, seed=9)
+        shards = partition_database(db, p)
+        assert len(shards) == p
+        assert ProteinDatabase.concat(shards) == db
+
+    def test_byte_balance(self):
+        db = generate_database(200, seed=9)
+        shards = partition_database(db, 8)
+        sizes = [s.total_residues for s in shards]
+        mean = db.total_residues / 8
+        # every shard within one max-sequence-length of the ideal chunk
+        max_len = int(db.lengths.max())
+        assert all(abs(sz - mean) <= max_len for sz in sizes)
+
+    def test_more_ranks_than_sequences_gives_empty_shards(self):
+        db = generate_database(3, seed=9)
+        shards = partition_database(db, 8)
+        assert sum(len(s) for s in shards) == 3
+        assert ProteinDatabase.concat(shards) == db
+
+    def test_ids_preserved(self):
+        db = generate_database(30, seed=9)
+        shards = partition_database(db, 4)
+        all_ids = np.concatenate([s.ids for s in shards])
+        assert np.array_equal(all_ids, db.ids)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            partition_database(generate_database(5, seed=1), 0)
+
+    def test_bounds_monotone(self):
+        db = generate_database(100, seed=9)
+        bounds = partition_bounds(db.offsets, 7)
+        assert bounds[0] == 0
+        assert bounds[-1] == len(db)
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_sequence_assigned_to_chunk_of_first_byte(self):
+        db = generate_database(40, seed=9)
+        p = 5
+        bounds = partition_bounds(db.offsets, p)
+        total = db.total_residues
+        for i in range(p):
+            for k in range(int(bounds[i]), int(bounds[i + 1])):
+                start_byte = int(db.offsets[k])
+                assert i * total / p <= start_byte
+                assert start_byte < (i + 1) * total / p or i == p - 1
+
+
+class TestPartitionQueries:
+    def test_contiguous_blocks_cover_all(self):
+        queries = list(range(25))
+        blocks = partition_queries(queries, 4)
+        assert [q for block in blocks for q in block] == queries
+        sizes = [len(b) for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_queries(self):
+        blocks = partition_queries([], 4)
+        assert blocks == [[], [], [], []]
+
+    def test_single_rank(self):
+        assert partition_queries([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            partition_queries([1], 0)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.chem.protein (the flat-buffer database)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.peptide import peptide_mass
+from repro.chem.protein import ProteinDatabase, ProteinRecord
+from repro.errors import InvalidSequenceError
+
+
+@pytest.fixture()
+def db():
+    return ProteinDatabase.from_records(
+        [
+            ProteinRecord("p0", "MKTAYIAKQR"),
+            ProteinRecord("p1", "ACDEFGHIKLMNPQRSTVWY"),
+            ProteinRecord("p2", "PEPTIDEKR"),
+            ProteinRecord("p3", "GGG"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_lengths_and_residues(self, db):
+        assert len(db) == 4
+        assert db.total_residues == 10 + 20 + 9 + 3
+        assert list(db.lengths) == [10, 20, 9, 3]
+
+    def test_sequence_access(self, db):
+        assert db.sequence_str(2) == "PEPTIDEKR"
+        assert db.name(1) == "p1"
+
+    def test_iteration_roundtrip(self, db):
+        records = list(db)
+        assert records[0] == ProteinRecord("p0", "MKTAYIAKQR")
+        assert len(records) == 4
+
+    def test_from_sequences_names(self):
+        db = ProteinDatabase.from_sequences(["AAA", "CCC"])
+        assert db.name(0) == "seq0"
+
+    def test_empty_database(self):
+        db = ProteinDatabase.empty()
+        assert len(db) == 0
+        assert db.total_residues == 0
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            ProteinDatabase.from_records([ProteinRecord("bad", "")])
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            ProteinDatabase(
+                np.zeros(3, dtype=np.uint8) + ord("A"), np.array([1, 3], dtype=np.int64)
+            )
+
+    def test_offsets_must_match_buffer(self):
+        with pytest.raises(ValueError):
+            ProteinDatabase(
+                np.zeros(3, dtype=np.uint8) + ord("A"), np.array([0, 2], dtype=np.int64)
+            )
+
+    def test_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            ProteinDatabase(
+                np.zeros(2, dtype=np.uint8) + ord("A"),
+                np.array([0, 1, 2], dtype=np.int64),
+                ids=np.array([7], dtype=np.int64),
+            )
+
+
+class TestDerived:
+    def test_parent_masses_match_direct(self, db):
+        masses = db.parent_masses()
+        for i in range(len(db)):
+            assert masses[i] == pytest.approx(peptide_mass(db.sequence(i)))
+
+    def test_parent_masses_cached(self, db):
+        a = db.parent_masses()
+        b = db.parent_masses()
+        assert a is b
+
+    def test_mz_keys_are_positive_ints(self, db):
+        keys = db.parent_mz_keys()
+        assert keys.dtype == np.int64
+        assert np.all(keys > 0)
+
+    def test_nbytes_counts_transportable_arrays(self, db):
+        expected = db.residues.nbytes + db.offsets.nbytes + db.ids.nbytes
+        assert db.nbytes == expected
+
+
+class TestRestructuring:
+    def test_subset_preserves_ids_and_content(self, db):
+        sub = db.subset(np.array([2, 0]))
+        assert list(sub.ids) == [2, 0]
+        assert sub.sequence_str(0) == "PEPTIDEKR"
+        assert sub.sequence_str(1) == "MKTAYIAKQR"
+        assert sub.name(0) == "p2"
+
+    def test_subset_empty(self, db):
+        assert len(db.subset(np.array([], dtype=np.int64))) == 0
+
+    def test_slice_range(self, db):
+        sl = db.slice_range(1, 3)
+        assert len(sl) == 2
+        assert sl.sequence_str(0) == db.sequence_str(1)
+        assert list(sl.ids) == [1, 2]
+
+    def test_slice_range_bounds(self, db):
+        with pytest.raises(IndexError):
+            db.slice_range(0, 5)
+        with pytest.raises(IndexError):
+            db.slice_range(-1, 2)
+
+    def test_concat_inverts_partition(self, db):
+        parts = [db.slice_range(0, 2), db.slice_range(2, 4)]
+        merged = ProteinDatabase.concat(parts)
+        assert merged == db
+
+    def test_concat_empty_list(self):
+        assert len(ProteinDatabase.concat([])) == 0
+
+    def test_equality(self, db):
+        other = ProteinDatabase.from_records(list(db))
+        assert other == db
+        assert db != db.slice_range(0, 2)
+
+    def test_buffers_roundtrip(self, db):
+        rebuilt = ProteinDatabase.from_buffers(*db.to_buffers())
+        assert rebuilt == db
+
+    def test_subset_parent_mass_cache_propagates(self, db):
+        db.parent_masses()  # populate cache
+        sub = db.subset(np.array([1, 3]))
+        assert sub.parent_masses()[0] == pytest.approx(peptide_mass(db.sequence(1)))

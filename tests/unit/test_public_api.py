@@ -1,0 +1,84 @@
+"""Public-API surface tests: __all__ integrity and top-level imports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.chem",
+    "repro.spectra",
+    "repro.scoring",
+    "repro.candidates",
+    "repro.simmpi",
+    "repro.core",
+    "repro.engines",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{package} has no __all__")
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert len(exported) == len(set(exported))
+
+
+def test_top_level_covers_the_quickstart_surface():
+    import repro
+
+    for name in (
+        "generate_database",
+        "generate_queries",
+        "run_search",
+        "SearchConfig",
+        "SearchReport",
+        "PeptideIdentifier",
+        "reports_equal",
+        "ClusterConfig",
+        "NetworkModel",
+    ):
+        assert name in repro.__all__
+
+    assert repro.__version__
+
+
+def test_algorithm_registry_matches_docs():
+    from repro.core.driver import ALGORITHMS
+
+    assert {
+        "serial",
+        "algorithm_a",
+        "algorithm_a_nomask",
+        "algorithm_b",
+        "master_worker",
+        "xbang",
+        "query_transport",
+        "candidate_transport",
+        "subgroups_g2",
+    } == set(ALGORITHMS)
+
+
+def test_every_module_has_a_docstring():
+    import pathlib
+
+    root = pathlib.Path("src/repro")
+    missing = []
+    for path in root.rglob("*.py"):
+        text = path.read_text()
+        stripped = text.lstrip()
+        if not (stripped.startswith('"""') or stripped.startswith("'''")) and stripped:
+            missing.append(str(path))
+    assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,358 @@
+"""Unit tests for the simulated cluster scheduler and SimComm semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, DeadlockError, OutOfMemoryError
+from repro.simmpi.comm import ANY_SOURCE
+from repro.simmpi.network import NetworkModel, ZERO_NETWORK
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+
+
+def run(p, program, **cfg):
+    cluster = SimCluster(ClusterConfig(num_ranks=p, **cfg))
+    outcomes, summary = cluster.run(program)
+    return cluster, outcomes, summary
+
+
+class TestBasics:
+    def test_single_rank_return_value(self):
+        def program(comm):
+            comm.compute(1.0)
+            return comm.rank * 10
+            yield  # makes this a generator
+
+        _c, outcomes, summary = run(1, program)
+        assert outcomes[0].value == 0
+        assert summary.makespan == pytest.approx(1.0)
+
+    def test_compute_advances_clock(self):
+        def program(comm):
+            comm.compute(2.0)
+            comm.compute(3.0)
+            return comm.clock
+            yield
+
+        _c, outcomes, _s = run(2, program)
+        assert all(o.value == pytest.approx(5.0) for o in outcomes)
+
+    def test_negative_compute_rejected(self):
+        def program(comm):
+            comm.compute(-1.0)
+            yield comm.barrier_op()
+
+        with pytest.raises(ValueError):
+            run(2, program)
+
+    def test_invalid_num_ranks(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_ranks=0)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        def program(comm):
+            comm.compute(float(comm.rank))  # rank r computes r seconds
+            yield comm.barrier_op()
+            return comm.clock
+
+        _c, outcomes, _s = run(4, program, network=ZERO_NETWORK)
+        assert all(o.value == pytest.approx(3.0) for o in outcomes)
+
+    def test_mismatched_collectives_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.barrier_op()
+            else:
+                yield comm.allreduce_op(1, "sum")
+
+        with pytest.raises(CommunicationError, match="mismatch"):
+            run(2, program)
+
+    def test_rank_exiting_before_collective_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                return None
+            yield comm.barrier_op()
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+
+class TestAllreduce:
+    def test_sum_scalar(self):
+        def program(comm):
+            total = yield comm.allreduce_op(comm.rank + 1, "sum")
+            return total
+
+        _c, outcomes, _s = run(4, program)
+        assert all(o.value == 10 for o in outcomes)
+
+    def test_max_array(self):
+        def program(comm):
+            vec = np.zeros(3)
+            vec[comm.rank % 3] = comm.rank
+            result = yield comm.allreduce_op(vec, "max")
+            return result
+
+        _c, outcomes, _s = run(3, program)
+        assert np.allclose(outcomes[0].value, [0, 1, 2])
+
+    def test_unknown_op_rejected(self):
+        def program(comm):
+            yield comm.allreduce_op(1, "xor")
+
+        with pytest.raises(CommunicationError):
+            run(2, program)
+
+    def test_cost_charged(self):
+        def program(comm):
+            yield comm.allreduce_op(np.zeros(1000), "sum")
+            return comm.clock
+
+        net = NetworkModel(latency=1e-3, byte_cost=1e-6)
+        _c, outcomes, _s = run(4, program, network=net)
+        expected = net.allreduce_time(4, 8000)
+        assert outcomes[0].value == pytest.approx(expected)
+
+
+class TestAlltoallv:
+    def test_exchange_semantics(self):
+        def program(comm):
+            payloads = [(f"{comm.rank}->{d}", 10) for d in range(comm.size)]
+            received = yield comm.alltoallv_op(payloads)
+            return received
+
+        _c, outcomes, _s = run(3, program)
+        assert outcomes[1].value == ["0->1", "1->1", "2->1"]
+
+    def test_wrong_payload_count_rejected(self):
+        def program(comm):
+            yield comm.alltoallv_op([("x", 1)])  # needs comm.size entries
+
+        with pytest.raises(CommunicationError):
+            run(3, program)
+
+
+class TestBcastGather:
+    def test_bcast_from_root(self):
+        def program(comm):
+            value = "hello" if comm.rank == 0 else None
+            got = yield comm.bcast_op(value, root=0)
+            return got
+
+        _c, outcomes, _s = run(3, program)
+        assert all(o.value == "hello" for o in outcomes)
+
+    def test_gather_to_root(self):
+        def program(comm):
+            got = yield comm.gather_op(comm.rank * 2, root=1)
+            return got
+
+        _c, outcomes, _s = run(3, program)
+        assert outcomes[1].value == [0, 2, 4]
+        assert outcomes[0].value is None
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, {"x": 42}, 100)
+                src, reply = yield comm.recv_op(source=1)
+                return reply
+            else:
+                src, msg = yield comm.recv_op(source=0)
+                comm.send(0, msg["x"] + 1, 8)
+                return None
+
+        _c, outcomes, _s = run(2, program)
+        assert outcomes[0].value == 43
+
+    def test_any_source_takes_earliest_arrival(self):
+        def program(comm):
+            if comm.rank == 0:
+                first_src, _ = yield comm.recv_op(source=ANY_SOURCE)
+                second_src, _ = yield comm.recv_op(source=ANY_SOURCE)
+                return (first_src, second_src)
+            comm.compute(0.1 * comm.rank)  # rank 1 sends before rank 2
+            comm.send(0, "hi", 8)
+            return None
+
+        _c, outcomes, _s = run(3, program)
+        assert outcomes[0].value == (1, 2)
+
+    def test_recv_with_no_sender_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield comm.recv_op(source=1)
+            return None
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+    def test_recv_blocks_until_arrival_time(self):
+        net = NetworkModel(latency=0.5, byte_cost=0.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", 8)
+                return None
+            yield comm.recv_op(source=0)
+            return comm.clock
+
+        _c, outcomes, _s = run(2, program, network=net)
+        assert outcomes[1].value == pytest.approx(0.5)
+
+    def test_invalid_dest(self):
+        def program(comm):
+            comm.send(99, "x", 8)
+            yield comm.barrier_op()
+
+        with pytest.raises(CommunicationError):
+            run(2, program)
+
+
+class TestOneSided:
+    def test_get_returns_window_payload(self):
+        def program(comm):
+            comm.expose("w", f"data{comm.rank}", 100)
+            yield comm.barrier_op()
+            req = comm.iget((comm.rank + 1) % comm.size, "w")
+            return comm.wait(req)
+
+        _c, outcomes, _s = run(3, program)
+        assert [o.value for o in outcomes] == ["data1", "data2", "data0"]
+
+    def test_local_get_is_free(self):
+        def program(comm):
+            comm.expose("w", "mine", 10**9)
+            yield comm.barrier_op()
+            before = comm.clock
+            req = comm.iget(comm.rank, "w")
+            comm.wait(req)
+            return comm.clock - before
+
+        _c, outcomes, _s = run(2, program)
+        assert all(o.value == 0.0 for o in outcomes)
+
+    def test_masked_transfer_produces_no_wait(self):
+        net = NetworkModel(latency=0.0, byte_cost=1e-6, software_rma=False)
+
+        def program(comm):
+            comm.expose("w", comm.rank, 1000)  # 1 ms transfer
+            yield comm.barrier_op()
+            req = comm.iget((comm.rank + 1) % comm.size, "w")
+            comm.compute(0.1)  # plenty to mask 1 ms
+            comm.wait(req)
+            return None
+
+        _c, _o, summary = run(2, program, network=net)
+        assert summary.total_wait == pytest.approx(0.0)
+        assert summary.masking_effectiveness == pytest.approx(1.0)
+
+    def test_unmasked_transfer_counted_as_wait(self):
+        net = NetworkModel(latency=0.0, byte_cost=1e-6, software_rma=False)
+
+        def program(comm):
+            comm.expose("w", comm.rank, 1_000_000)  # 1 s transfer
+            yield comm.barrier_op()
+            req = comm.iget((comm.rank + 1) % comm.size, "w")
+            comm.wait(req)  # nothing masked
+            return None
+
+        _c, _o, summary = run(2, program, network=net)
+        assert summary.total_wait > 0.9
+
+    def test_get_unknown_window(self):
+        def program(comm):
+            yield comm.barrier_op()
+            comm.iget((comm.rank + 1) % comm.size, "ghost")
+
+        with pytest.raises(CommunicationError):
+            run(2, program)
+
+    def test_double_expose_rejected(self):
+        def program(comm):
+            comm.expose("w", 1, 8)
+            comm.expose("w", 2, 8)
+            yield comm.barrier_op()
+
+        with pytest.raises(CommunicationError):
+            run(2, program)
+
+    def test_rendezvous_traced_as_wait(self):
+        def program(comm):
+            comm.compute(float(comm.rank))
+            yield comm.rendezvous_op()
+            return None
+
+        _c, _o, summary = run(2, program, network=ZERO_NETWORK)
+        # rank 0 waited 1 s for rank 1 at the rendezvous
+        assert summary.total_wait == pytest.approx(1.0)
+        assert summary.total_collective == pytest.approx(0.0)
+
+
+class TestMemoryIntegration:
+    def test_oom_propagates_with_rank_context(self):
+        def program(comm):
+            comm.alloc("big", 2 << 30)
+            yield comm.barrier_op()
+
+        with pytest.raises(OutOfMemoryError):
+            run(2, program)
+
+    def test_peak_memory_recorded(self):
+        def program(comm):
+            comm.alloc("a", 100)
+            comm.alloc("b", 200)
+            comm.free("a")
+            yield comm.barrier_op()
+            return None
+
+        cluster, _o, _s = run(2, program)
+        assert cluster.memory[0].peak == 300
+        assert cluster.memory[0].in_use == 200
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def program(comm):
+            comm.expose("w", np.arange(100), 800)
+            yield comm.barrier_op()
+            req = comm.iget((comm.rank + 1) % comm.size, "w")
+            comm.compute(0.01 * (comm.rank + 1))
+            comm.wait(req)
+            total = yield comm.allreduce_op(comm.clock, "sum")
+            return total
+
+        _c1, o1, s1 = run(5, program)
+        _c2, o2, s2 = run(5, program)
+        assert [o.value for o in o1] == [o.value for o in o2]
+        assert s1.makespan == s2.makespan
+        assert s1.total_wait == s2.total_wait
+
+
+class TestCommHelpers:
+    def test_payload_nbytes_estimates(self):
+        import numpy as np
+
+        from repro.simmpi.comm import _payload_nbytes
+
+        assert _payload_nbytes(None) == 0
+        assert _payload_nbytes(np.zeros(10)) == 80
+        assert _payload_nbytes(b"abcd") == 4
+        assert _payload_nbytes(3.14) == 8
+        assert _payload_nbytes([np.zeros(2), 1]) == 24
+        assert _payload_nbytes(object()) == 64
+
+    def test_reduce_values_ops(self):
+        import numpy as np
+
+        from repro.simmpi.comm import reduce_values
+
+        assert reduce_values([1, 2, 3], "sum") == 6
+        assert reduce_values([1, 5, 3], "max") == 5
+        assert reduce_values([4, 2, 9], "min") == 2
+        arr = reduce_values([np.array([1, 5]), np.array([3, 2])], "max")
+        assert list(arr) == [3, 5]

@@ -1,0 +1,163 @@
+"""Unit tests for all scoring models and the registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.amino_acids import encode_sequence
+from repro.errors import ConfigError
+from repro.scoring.hypergeometric import HypergeometricScorer
+from repro.scoring.hyperscore import HyperScorer
+from repro.scoring.likelihood import LikelihoodRatioScorer
+from repro.scoring.registry import SCORER_NAMES, make_scorer
+from repro.scoring.shared_peaks import SharedPeakScorer
+from repro.scoring.xcorr import XCorrScorer
+from repro.spectra.experimental import SimulatorConfig, SpectrumSimulator
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+
+TRUE_PEPTIDE = encode_sequence("MKTAYIAKQR")
+WRONG_PEPTIDE = encode_sequence("WWWWHHHHFF")
+
+ALL_SCORERS = [
+    SharedPeakScorer(),
+    LikelihoodRatioScorer(),
+    HyperScorer(),
+    XCorrScorer(),
+    HypergeometricScorer(),
+]
+
+
+@pytest.fixture(scope="module")
+def clean_spectrum():
+    cfg = SimulatorConfig(peak_dropout=0.15, noise_peaks=3.0)
+    return SpectrumSimulator(cfg, seed=21).simulate(TRUE_PEPTIDE, query_id=0)
+
+
+@pytest.mark.parametrize("scorer", ALL_SCORERS, ids=lambda s: s.name)
+class TestAllScorers:
+    def test_true_beats_wrong(self, scorer, clean_spectrum):
+        true_score = scorer.score(clean_spectrum, TRUE_PEPTIDE)
+        wrong_score = scorer.score(clean_spectrum, WRONG_PEPTIDE)
+        assert true_score > wrong_score
+
+    def test_deterministic(self, scorer, clean_spectrum):
+        a = scorer.score(clean_spectrum, TRUE_PEPTIDE)
+        b = scorer.score(clean_spectrum, TRUE_PEPTIDE)
+        assert a == b
+
+    def test_has_protocol_attributes(self, scorer, clean_spectrum):
+        assert isinstance(scorer.name, str)
+        assert scorer.relative_cost >= 1.0
+
+    def test_handles_empty_spectrum(self, scorer, clean_spectrum):
+        empty = Spectrum(np.array([]), np.array([]), 1000.0)
+        score = scorer.score(empty, TRUE_PEPTIDE)
+        assert score == -math.inf or score <= 0.0
+
+
+class TestSharedPeaks:
+    def test_counts_matched_peaks(self):
+        from repro.spectra.theoretical import by_ion_ladder
+
+        ladder = by_ion_ladder(TRUE_PEPTIDE)
+        spec = Spectrum(ladder, np.ones(len(ladder)), 1200.0)
+        scorer = SharedPeakScorer(0.1)
+        assert scorer.score(spec, TRUE_PEPTIDE) == len(ladder)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            SharedPeakScorer(0.0)
+
+
+class TestLikelihood:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            LikelihoodRatioScorer(fragment_tolerance=-1)
+        with pytest.raises(ValueError):
+            LikelihoodRatioScorer(p_detect=1.5)
+
+    def test_true_candidate_scores_positive(self, clean_spectrum):
+        # a good match should be more likely than the random-peptide null
+        assert LikelihoodRatioScorer().score(clean_spectrum, TRUE_PEPTIDE) > 0
+
+    def test_random_candidate_scores_negative(self, clean_spectrum):
+        assert LikelihoodRatioScorer().score(clean_spectrum, WRONG_PEPTIDE) < 0
+
+    def test_library_entry_changes_model(self, clean_spectrum):
+        lib = SpectralLibrary()
+        # a deliberately wrong library entry should depress the score
+        lib.add("MKTAYIAKQR", np.array([50.0, 60.0]), np.array([1.0, 1.0]))
+        with_lib = LikelihoodRatioScorer(library=lib).score(clean_spectrum, TRUE_PEPTIDE)
+        without = LikelihoodRatioScorer().score(clean_spectrum, TRUE_PEPTIDE)
+        assert with_lib != without
+
+    def test_relative_cost_reflects_accuracy_cost(self):
+        # the paper's quality argument: the accurate model is expensive
+        assert LikelihoodRatioScorer().relative_cost > HyperScorer().relative_cost
+
+
+class TestHyperscore:
+    def test_no_matches_is_neg_inf(self):
+        spec = Spectrum(np.array([5000.0]), np.array([1.0]), 6000.0)
+        assert HyperScorer().score(spec, TRUE_PEPTIDE) == -math.inf
+
+    def test_more_matches_higher_score(self, clean_spectrum):
+        # removing peaks from the spectrum must not raise the score
+        full = HyperScorer().score(clean_spectrum, TRUE_PEPTIDE)
+        half = HyperScorer().score(clean_spectrum.top_peaks(4), TRUE_PEPTIDE)
+        assert full >= half
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            HyperScorer(-0.5)
+
+
+class TestXCorr:
+    def test_preprocessing_cached(self, clean_spectrum):
+        scorer = XCorrScorer()
+        scorer.score(clean_spectrum, TRUE_PEPTIDE)
+        cached = scorer._cache[id(clean_spectrum)]
+        scorer.score(clean_spectrum, WRONG_PEPTIDE)
+        assert scorer._cache[id(clean_spectrum)] is cached
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            XCorrScorer(bin_width=0.0)
+        with pytest.raises(ValueError):
+            XCorrScorer(offset_range=0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", SCORER_NAMES)
+    def test_all_names_construct(self, name):
+        scorer = make_scorer(name)
+        assert scorer.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scorer("nope")
+
+    def test_library_reaches_likelihood(self):
+        lib = SpectralLibrary()
+        scorer = make_scorer("likelihood", library=lib)
+        assert scorer.library is lib
+
+
+class TestHypergeometric:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HypergeometricScorer(fragment_tolerance=0.0)
+        with pytest.raises(ValueError):
+            HypergeometricScorer(mz_range=-1.0)
+
+    def test_probability_interpretation(self, clean_spectrum):
+        """A strong true match has a tiny tail probability (large -log10)."""
+        score = HypergeometricScorer().score(clean_spectrum, TRUE_PEPTIDE)
+        assert score > 3.0  # P < 1e-3 that a random candidate matches so well
+
+    def test_registry_constructs_it(self):
+        from repro.scoring.registry import make_scorer
+
+        assert make_scorer("hypergeometric").name == "hypergeometric"

@@ -1,0 +1,125 @@
+"""Unit tests for the shared per-shard search kernel."""
+
+import numpy as np
+import pytest
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.partition import partition_database
+from repro.core.search import ShardSearcher, search_serial
+from repro.scoring.hits import TopHitList, merge_hit_lists
+
+
+class TestShardSearcher:
+    def test_search_counts_match_generator(self, tiny_db, tiny_queries, config):
+        searcher = ShardSearcher(tiny_db, config)
+        hitlists = {}
+        stats = searcher.search(tiny_queries, hitlists)
+        expected = sum(searcher.count_for(q) for q in tiny_queries)
+        assert stats.candidates_evaluated == expected
+        assert stats.queries_processed == len(tiny_queries)
+
+    def test_every_query_gets_a_hitlist(self, tiny_db, tiny_queries, config):
+        searcher = ShardSearcher(tiny_db, config)
+        hitlists = {}
+        searcher.search(tiny_queries, hitlists)
+        assert set(hitlists) == {q.query_id for q in tiny_queries}
+
+    def test_hits_respect_tau(self, tiny_db, tiny_queries):
+        cfg = SearchConfig(tau=2, delta=20.0)
+        searcher = ShardSearcher(tiny_db, cfg)
+        hitlists = {}
+        searcher.search(tiny_queries, hitlists)
+        assert all(len(hl) <= 2 for hl in hitlists.values())
+
+    def test_hit_spans_are_real_database_spans(self, tiny_db, tiny_queries, config):
+        searcher = ShardSearcher(tiny_db, config)
+        hitlists = {}
+        searcher.search(tiny_queries, hitlists)
+        id_to_index = {int(pid): i for i, pid in enumerate(tiny_db.ids)}
+        for hl in hitlists.values():
+            for hit in hl.sorted_hits():
+                seq = tiny_db.sequence(id_to_index[hit.protein_id])
+                assert 0 <= hit.start < hit.stop <= len(seq)
+
+    def test_min_candidate_length_filters(self, tiny_db, tiny_queries):
+        long_cfg = SearchConfig(tau=100, delta=10.0, min_candidate_length=12)
+        searcher = ShardSearcher(tiny_db, long_cfg)
+        hitlists = {}
+        searcher.search(tiny_queries, hitlists)
+        for hl in hitlists.values():
+            for hit in hl.sorted_hits():
+                assert hit.length >= 12
+
+    def test_score_cutoff_filters(self, tiny_db, tiny_queries):
+        cfg = SearchConfig(tau=100, score_cutoff=1e9)
+        searcher = ShardSearcher(tiny_db, cfg)
+        hitlists = {}
+        searcher.search(tiny_queries, hitlists)
+        assert all(len(hl) == 0 for hl in hitlists.values())
+
+    def test_modeled_counts_without_hits(self, tiny_db, tiny_queries, config):
+        modeled = SearchConfig(tau=config.tau, execution=ExecutionMode.MODELED)
+        real = SearchConfig(tau=config.tau)
+        m = ShardSearcher(tiny_db, modeled)
+        r = ShardSearcher(tiny_db, real)
+        mh, rh = {}, {}
+        mstats = m.search(tiny_queries, mh)
+        rstats = r.search(tiny_queries, rh)
+        assert mstats.candidates_evaluated == rstats.candidates_evaluated
+        assert all(len(hl) == 0 for hl in mh.values())
+
+    def test_count_batch_matches_per_query(self, tiny_db, tiny_queries, config):
+        searcher = ShardSearcher(tiny_db, config)
+        assert searcher.count_batch(tiny_queries) == sum(
+            searcher.count_for(q) for q in tiny_queries
+        )
+
+    def test_shard_decomposition_is_exhaustive(self, tiny_db, tiny_queries, config):
+        """Candidates over shards partition the whole database's candidates
+        — the correctness foundation of every parallel algorithm here."""
+        whole = ShardSearcher(tiny_db, config)
+        shards = [ShardSearcher(s, config) for s in partition_database(tiny_db, 5)]
+        for q in tiny_queries:
+            assert whole.count_for(q) == sum(s.count_for(q) for s in shards)
+
+    def test_per_shard_merge_equals_whole(self, tiny_db, tiny_queries, config):
+        whole_hits = {}
+        ShardSearcher(tiny_db, config).search(tiny_queries, whole_hits)
+        shard_hitlists = []
+        for shard in partition_database(tiny_db, 4):
+            h = {}
+            ShardSearcher(shard, config).search(tiny_queries, h)
+            shard_hitlists.append(h)
+        for q in tiny_queries:
+            merged = merge_hit_lists(
+                [h[q.query_id].sorted_hits() for h in shard_hitlists], config.tau
+            )
+            assert merged == whole_hits[q.query_id].sorted_hits()
+
+
+class TestSearchSerial:
+    def test_report_fields(self, tiny_db, tiny_queries, config):
+        report = search_serial(tiny_db, tiny_queries, config)
+        assert report.algorithm == "serial"
+        assert report.num_ranks == 1
+        assert report.virtual_time > 0
+        assert set(report.hits) == {q.query_id for q in tiny_queries}
+
+    def test_finds_true_peptide_as_top_hit(self, tiny_db, config):
+        """Queries generated FROM the database should usually hit their
+        own source span at rank 1 (the quality sanity check)."""
+        from repro.workloads.queries import QueryWorkload
+
+        spectra, targets = QueryWorkload(num_queries=12, seed=5, source=tiny_db).build()
+        report = search_serial(tiny_db, spectra, config)
+        top_correct = 0
+        for spec, target in zip(spectra, targets):
+            top = report.top_hit(spec.query_id)
+            if top is None:
+                continue
+            idx = {int(pid): i for i, pid in enumerate(tiny_db.ids)}[top.protein_id]
+            span = tiny_db.sequence(idx)[top.start : top.stop]
+            if np.array_equal(span, target):
+                top_correct += 1
+        assert top_correct >= 8, f"only {top_correct}/12 targets recovered"

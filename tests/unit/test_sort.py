@@ -1,0 +1,134 @@
+"""Unit tests for the parallel counting sort (Algorithm B, step B2)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.costmodel import CostModel
+from repro.core.partition import partition_database
+from repro.core.sort import (
+    counting_sort_pivots,
+    destination_of_keys,
+    parallel_counting_sort,
+)
+from repro.simmpi.scheduler import ClusterConfig, SimCluster
+from repro.workloads.synthetic import generate_database
+
+
+class TestPivots:
+    def test_balanced_split(self):
+        weights = np.ones(100)
+        hi = counting_sort_pivots(weights, 4)
+        assert list(hi) == [24, 49, 74, 99]
+
+    def test_skewed_weights(self):
+        weights = np.zeros(10)
+        weights[7] = 100.0
+        hi = counting_sort_pivots(weights, 2)
+        # all mass at key 7: first rank takes through key 7
+        assert hi[0] == 7
+        assert hi[-1] == 9
+
+    def test_single_rank_takes_all(self):
+        hi = counting_sort_pivots(np.ones(50), 1)
+        assert list(hi) == [49]
+
+    def test_last_pivot_always_covers_key_space(self):
+        hi = counting_sort_pivots(np.ones(30), 7)
+        assert hi[-1] == 29
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            counting_sort_pivots(np.ones(5), 0)
+
+
+class TestDestination:
+    def test_same_key_same_rank(self):
+        hi = np.array([10, 20, 30])
+        keys = np.array([5, 10, 11, 20, 21, 30])
+        dest = destination_of_keys(keys, hi)
+        assert list(dest) == [0, 0, 1, 1, 2, 2]
+
+    def test_all_keys_assigned_in_range(self):
+        hi = counting_sort_pivots(np.ones(100), 5)
+        keys = np.arange(100)
+        dest = destination_of_keys(keys, hi)
+        assert dest.min() >= 0 and dest.max() < 5
+
+
+def run_sort(db, p, **cluster_kwargs):
+    shards = partition_database(db, p)
+    cost = CostModel()
+
+    def program(comm):
+        result = yield from parallel_counting_sort(comm, shards[comm.rank], cost)
+        return result
+
+    cluster = SimCluster(ClusterConfig(num_ranks=p, **cluster_kwargs))
+    outcomes, summary = cluster.run(program)
+    return outcomes, summary
+
+
+class TestParallelCountingSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_global_sorted_order(self, p):
+        db = generate_database(60, seed=13)
+        outcomes, _s = run_sort(db, p)
+        merged = ProteinDatabase.concat([o.value[0] for o in outcomes])
+        keys = merged.parent_mz_keys()
+        assert np.all(np.diff(keys) >= 0), "concatenated shards must be globally sorted"
+
+    @pytest.mark.parametrize("p", [2, 5])
+    def test_no_sequence_lost_or_duplicated(self, p):
+        db = generate_database(40, seed=14)
+        outcomes, _s = run_sort(db, p)
+        merged = ProteinDatabase.concat([o.value[0] for o in outcomes])
+        assert sorted(merged.ids.tolist()) == sorted(db.ids.tolist())
+        assert merged.total_residues == db.total_residues
+
+    def test_same_key_lands_on_same_rank(self):
+        # craft a database with many equal-mass sequences
+        db = ProteinDatabase.from_sequences(["GGGGGG"] * 10 + ["WWWWWW"] * 10)
+        outcomes, _s = run_sort(db, 4)
+        for key in set(db.parent_mz_keys().tolist()):
+            owners = [
+                o.rank
+                for o in outcomes
+                if key in set(o.value[0].parent_mz_keys().tolist())
+            ]
+            assert len(owners) <= 1, f"key {key} split across ranks {owners}"
+
+    def test_residue_balance(self):
+        db = generate_database(200, seed=15)
+        outcomes, _s = run_sort(db, 4)
+        sizes = [o.value[0].total_residues for o in outcomes]
+        mean = db.total_residues / 4
+        assert max(sizes) < 2.2 * mean, f"sorted shards unbalanced: {sizes}"
+
+    def test_pivots_identical_on_all_ranks(self):
+        db = generate_database(30, seed=16)
+        outcomes, _s = run_sort(db, 3)
+        first = outcomes[0].value[1]
+        for o in outcomes[1:]:
+            assert np.array_equal(o.value[1], first)
+
+    def test_max_masses_published(self):
+        db = generate_database(30, seed=16)
+        outcomes, _s = run_sort(db, 3)
+        max_masses = outcomes[0].value[2]
+        for o in outcomes:
+            shard = o.value[0]
+            if len(shard):
+                assert max_masses[o.rank] == pytest.approx(
+                    float(shard.parent_masses().max())
+                )
+            else:
+                assert max_masses[o.rank] == -np.inf
+
+    def test_sort_time_grows_with_p(self):
+        db = generate_database(60, seed=13)
+        times = {}
+        for p in (2, 8):
+            _o, summary = run_sort(db, p)
+            times[p] = summary.makespan
+        assert times[8] > times[2], "sorting overhead must grow with p (Table IV)"

@@ -1,0 +1,70 @@
+"""Unit tests for the timeline renderers."""
+
+import pytest
+
+from repro.analysis.timeline import ascii_gantt, utilization_table
+from repro.simmpi.trace import RankTrace, TraceSummary
+
+
+def make_summary(record_events=True):
+    traces = {}
+    for rank in range(2):
+        t = RankTrace(rank, record_events=record_events)
+        t.add("compute", 0.0, 1.0, "work")
+        t.add("wait", 1.0, 0.5, "drecv")
+        t.add("collective", 1.5, 0.25, "barrier")
+        traces[rank] = t
+    return TraceSummary.from_traces(traces, makespan=1.75)
+
+
+class TestUtilizationTable:
+    def test_contains_all_ranks(self):
+        out = utilization_table(make_summary())
+        assert "rank 0" in out and "rank 1" in out
+
+    def test_utilization_fraction(self):
+        out = utilization_table(make_summary())
+        assert "57.1%" in out  # 1.0 / 1.75
+
+    def test_zero_makespan_safe(self):
+        summary = TraceSummary.from_traces({0: RankTrace(0)}, makespan=0.0)
+        utilization_table(summary)  # must not divide by zero
+
+
+class TestAsciiGantt:
+    def test_render_contains_glyphs(self):
+        out = ascii_gantt(make_summary(), width=40)
+        assert "#" in out and "." in out and "=" in out
+        assert "P0" in out and "P1" in out
+
+    def test_compute_precedes_wait_in_time(self):
+        out = ascii_gantt(make_summary(), width=40)
+        row = next(line for line in out.splitlines() if line.startswith("P0"))
+        assert row.index("#") < row.index(".") < row.index("=")
+
+    def test_requires_events(self):
+        with pytest.raises(ValueError, match="record_events"):
+            ascii_gantt(make_summary(record_events=False))
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            ascii_gantt(make_summary(), width=5)
+
+    def test_end_to_end_with_cluster(self):
+        """Render a real simulated run's gantt."""
+        from repro.simmpi.scheduler import ClusterConfig, SimCluster
+
+        def program(comm):
+            comm.compute(0.1 * (comm.rank + 1))
+            yield comm.rendezvous_op()
+            comm.compute(0.05)
+            yield comm.barrier_op()
+            return None
+
+        cluster = SimCluster(ClusterConfig(num_ranks=3, record_events=True))
+        _o, summary = cluster.run(program)
+        out = ascii_gantt(summary, width=60)
+        assert out.count("P") >= 3
+        # rank 0 finished computing first: it must show wait glyphs
+        row0 = next(line for line in out.splitlines() if line.startswith("P0"))
+        assert "." in row0
