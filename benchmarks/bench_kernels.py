@@ -10,10 +10,12 @@ host (the input to :mod:`repro.analysis.calibration`).
 import numpy as np
 import pytest
 
+from repro.candidates.batch import CandidateBatch
 from repro.candidates.generator import CandidateGenerator
 from repro.candidates.mass_index import MassIndex
 from repro.chem.amino_acids import encode_sequence
 from repro.core.sort import counting_sort_pivots
+from repro.scoring.base import batch_scores, score_batch_fallback
 from repro.scoring.hits import Hit, TopHitList
 from repro.scoring.hyperscore import HyperScorer
 from repro.scoring.likelihood import LikelihoodRatioScorer
@@ -26,6 +28,9 @@ from repro.workloads.queries import generate_queries
 from repro.workloads.synthetic import generate_database
 
 PEPTIDE = encode_sequence("MKTAYIAKQRQISFVKSHFSR")
+
+#: Scorers measured on both the scalar and the batched path.
+BATCH_SCORERS = [SharedPeakScorer(), HyperScorer(), XCorrScorer(), LikelihoodRatioScorer()]
 
 
 @pytest.fixture(scope="module")
@@ -80,6 +85,137 @@ class TestScoringKernels:
 
     def test_binning(self, benchmark, spectrum):
         benchmark(bin_spectrum, spectrum.mz, spectrum.intensity, 1.0005, 3000.0)
+
+
+@pytest.fixture(scope="module")
+def batch_case(db, spectrum):
+    """One query's full candidate set, in span and batch form."""
+    gen = CandidateGenerator(db, delta=3.0)
+    spans = gen.candidates(spectrum)
+    return db, spans, CandidateBatch.from_spans(db, spans, {})
+
+
+class TestBatchedScoring:
+    """Batched vs. scalar candidate scoring — the tentpole comparison."""
+
+    @pytest.mark.parametrize("scorer", BATCH_SCORERS, ids=lambda s: s.name)
+    def test_score_query_scalar(self, benchmark, scorer, spectrum, batch_case):
+        _db, _spans, batch = batch_case
+        benchmark(score_batch_fallback, scorer, spectrum, batch)
+
+    @pytest.mark.parametrize("scorer", BATCH_SCORERS, ids=lambda s: s.name)
+    def test_score_query_batched(self, benchmark, scorer, spectrum, batch_case):
+        db, spans, _batch = batch_case
+
+        def run():
+            # includes batch construction: that is part of the real pipeline
+            fresh = CandidateBatch.from_spans(db, spans, {})
+            return batch_scores(scorer, spectrum, fresh)
+
+        benchmark(run)
+
+
+def measure_batched_throughput(num_proteins=2_000, num_queries=8, repeats=3):
+    """Candidates/s, scalar vs. batched, per scorer -> BENCH_kernels.json payload.
+
+    Times whole-query candidate scoring (batch construction included) for
+    each scorer on both paths, best-of-``repeats``, and verifies on the
+    way that the two paths agree bitwise.
+    """
+    import platform
+    import time
+
+    database = generate_database(num_proteins, seed=202)
+    generator = CandidateGenerator(database, delta=3.0)
+    sim = SpectrumSimulator(seed=3)
+    rng = np.random.default_rng(17)
+    cases = []
+    for qid in range(num_queries):
+        seq = database.sequence(int(rng.integers(0, len(database))))
+        start = int(rng.integers(0, max(1, len(seq) - 20)))
+        peptide = seq[start : start + int(rng.integers(8, 22))]
+        spec = sim.simulate(peptide, query_id=qid)
+        spans = generator.candidates(spec)
+        if len(spans):
+            cases.append((spec, spans))
+    total = sum(len(spans) for _spec, spans in cases)
+
+    def best_of(fn):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    scorers = {}
+    for scorer in BATCH_SCORERS:
+        def scalar_pass():
+            for spec, spans in cases:
+                score_batch_fallback(
+                    scorer, spec, CandidateBatch.from_spans(database, spans, {})
+                )
+
+        def batched_pass():
+            for spec, spans in cases:
+                batch_scores(scorer, spec, CandidateBatch.from_spans(database, spans, {}))
+
+        for spec, spans in cases:  # correctness gate before timing
+            fresh = CandidateBatch.from_spans(database, spans, {})
+            assert (
+                batch_scores(scorer, spec, fresh).tobytes()
+                == score_batch_fallback(scorer, spec, fresh).tobytes()
+            ), f"batched != scalar for {scorer.name}"
+
+        scalar_s = best_of(scalar_pass)
+        batched_s = best_of(batched_pass)
+        scorers[scorer.name] = {
+            "scalar_candidates_per_second": total / scalar_s,
+            "batched_candidates_per_second": total / batched_s,
+            "speedup": scalar_s / batched_s,
+        }
+
+    return {
+        "benchmark": "batched_vs_scalar_scoring",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "num_proteins": num_proteins,
+        "num_queries": len(cases),
+        "total_candidates": total,
+        "repeats": repeats,
+        "scorers": scorers,
+    }
+
+
+def main(argv=None):
+    """Emit BENCH_kernels.json so future PRs have a perf trajectory."""
+    import argparse
+    import json
+    import pathlib
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+    )
+    parser.add_argument("--proteins", type=int, default=2_000)
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workload for CI; does not overwrite results"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = measure_batched_throughput(num_proteins=200, num_queries=2, repeats=1)
+        print(json.dumps(payload, indent=2))
+        return
+    payload = measure_batched_throughput(args.proteins, args.queries, args.repeats)
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()
 
 
 class TestBookkeepingKernels:

@@ -1,6 +1,7 @@
 """Candidate generation: prefix/suffix mass indexing and enumeration."""
 
 from repro.candidates.mass_index import MassIndex, CandidateSpans
+from repro.candidates.batch import CandidateBatch, LengthGroup
 from repro.candidates.generator import (
     CandidateGenerator,
     count_candidates,
@@ -11,6 +12,8 @@ from repro.candidates.tryptic import TrypticIndex
 __all__ = [
     "MassIndex",
     "CandidateSpans",
+    "CandidateBatch",
+    "LengthGroup",
     "CandidateGenerator",
     "count_candidates",
     "mass_window",

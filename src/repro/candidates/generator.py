@@ -15,6 +15,7 @@ full combinatorial enumeration real engines implement.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -52,11 +53,16 @@ class CandidateGenerator:
         self.modifications = tuple(m for m in modifications if not m.fixed)
         self.index = MassIndex(shard)
         # Per-sequence presence cumsums for each variable-mod target, so
-        # "span contains >= 1 target residue" is O(1) per candidate.
+        # "span contains >= 1 target residue" is O(1) per candidate, plus
+        # a window counter per mod so PTM tiers are counted in O(log N)
+        # without enumerating spans.
         self._target_csums = {}
+        self._mod_counters = {}
         for mod in self.modifications:
             is_target = (shard.residues == ord(mod.target)).astype(np.int64)
-            self._target_csums[mod.name] = np.concatenate(([0], np.cumsum(is_target)))
+            csum = np.concatenate(([0], np.cumsum(is_target)))
+            self._target_csums[mod.name] = csum
+            self._mod_counters[mod.name] = self.index.presence_counter(csum)
 
     @property
     def nbytes(self) -> int:
@@ -64,6 +70,8 @@ class CandidateGenerator:
         total = self.index.nbytes
         for csum in self._target_csums.values():
             total += csum.nbytes
+        for counter in self._mod_counters.values():
+            total += counter.nbytes
         return total
 
     def _filter_modified(self, spans: CandidateSpans, mod: Modification) -> CandidateSpans:
@@ -74,14 +82,8 @@ class CandidateGenerator:
         abs_start = offsets[spans.seq_index] + spans.start
         abs_stop = offsets[spans.seq_index] + spans.stop
         csum = self._target_csums[mod.name]
-        has_target = (csum[abs_stop] - csum[abs_start]) > 0
-        return CandidateSpans(
-            spans.seq_index[has_target],
-            spans.start[has_target],
-            spans.stop[has_target],
-            spans.mass[has_target],
-            np.full(int(has_target.sum()), mod.delta_mass),
-        )
+        kept = spans.take((csum[abs_stop] - csum[abs_start]) > 0)
+        return replace(kept, mod_delta=np.full(len(kept), mod.delta_mass))
 
     def candidates(self, spectrum: Spectrum) -> CandidateSpans:
         """All candidates for one query, unmodified first, then per-PTM.
@@ -99,15 +101,17 @@ class CandidateGenerator:
     def count(self, spectrum: Spectrum) -> int:
         """Candidate count for one query without materialising spans.
 
-        Exact for the unmodified tier; for PTM tiers it enumerates (the
-        target-residue filter needs the spans), so prefer
-        :meth:`count_unmodified_many` in modeled large-scale runs.
+        Exact for every tier: the unmodified tier is two binary searches,
+        and each PTM tier is counted through its per-mod target-presence
+        cumsums (:class:`~repro.candidates.mass_index.PresenceCounter`),
+        so no spans are ever enumerated.
         """
-        total = self.index.count_in_window(*mass_window(spectrum, self.delta))
+        lo, hi = mass_window(spectrum, self.delta)
+        total = self.index.count_in_window(lo, hi)
         for mod in self.modifications:
-            lo, hi = mass_window(spectrum, self.delta)
-            shifted = self.index.candidates_in_window(lo - mod.delta_mass, hi - mod.delta_mass)
-            total += len(self._filter_modified(shifted, mod))
+            total += self._mod_counters[mod.name].count_in_window(
+                lo - mod.delta_mass, hi - mod.delta_mass
+            )
         return total
 
     def count_unmodified_many(self, parent_masses: np.ndarray) -> np.ndarray:

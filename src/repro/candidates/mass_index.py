@@ -55,6 +55,27 @@ class CandidateSpans:
     def __len__(self) -> int:
         return len(self.seq_index)
 
+    def take(self, mask_or_indices: np.ndarray) -> "CandidateSpans":
+        """Subset of the spans selected by a boolean mask or index array.
+
+        The single sanctioned way to filter spans — replaces hand-rolled
+        five-field boolean gathers.  Order is preserved, which the
+        deterministic (mod tier, mass rank) candidate order relies on.
+        """
+        sel = np.asarray(mask_or_indices)
+        return CandidateSpans(
+            self.seq_index[sel],
+            self.start[sel],
+            self.stop[sel],
+            self.mass[sel],
+            self.mod_delta[sel],
+        )
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Residue count of each span."""
+        return self.stop - self.start
+
     @staticmethod
     def empty() -> "CandidateSpans":
         z = np.empty(0, dtype=np.int64)
@@ -105,7 +126,8 @@ class MassIndex:
         # the prefix and the suffix arrays; enumeration reports it once
         # (as a prefix), and counting subtracts this array's window count
         # so counts and enumeration sizes agree exactly.
-        self._parent_sorted = np.sort(shard.parent_masses())
+        self._parent_order = np.argsort(shard.parent_masses(), kind="stable")
+        self._parent_sorted = shard.parent_masses()[self._parent_order]
 
     @property
     def nbytes(self) -> int:
@@ -142,6 +164,30 @@ class MassIndex:
         )
         return (pc + sc - fc).astype(np.int64)
 
+    def presence_counter(self, unit_csum: np.ndarray) -> "PresenceCounter":
+        """O(log N) counter of window spans containing >= 1 flagged residue.
+
+        ``unit_csum`` is a length ``N + 1`` cumulative count of a per-residue
+        indicator over the shard's flat buffer (e.g. "is a PTM target
+        residue").  The returned counter answers, for any mass window, how
+        many *distinct* prefix/suffix candidates contain at least one flagged
+        residue — exactly ``len(filter(candidates_in_window(lo, hi)))``
+        without enumerating any spans.
+        """
+        pos_offsets = self._offsets[self.seq_of_pos]
+        next_offsets = self._offsets[self.seq_of_pos + 1]
+        # prefix ending at k covers [off, k]; suffix starting at k covers
+        # [k, off_next); a full sequence covers [off, off_next).
+        prefix_has = (unit_csum[1:] - unit_csum[pos_offsets]) > 0
+        suffix_has = (unit_csum[next_offsets] - unit_csum[:-1]) > 0
+        parent_has = (unit_csum[self._offsets[1:]] - unit_csum[self._offsets[:-1]]) > 0
+        return PresenceCounter(
+            self,
+            np.concatenate(([0], np.cumsum(prefix_has[self._prefix_order]))),
+            np.concatenate(([0], np.cumsum(suffix_has[self._suffix_order]))),
+            np.concatenate(([0], np.cumsum(parent_has[self._parent_order]))),
+        )
+
     # -- window enumeration (used by real execution) ---------------------
 
     def prefixes_in_window(self, lo: float, hi: float) -> CandidateSpans:
@@ -177,11 +223,52 @@ class MassIndex:
         suffixes = self.suffixes_in_window(lo, hi)
         keep = suffixes.start > 0
         if not np.all(keep):
-            suffixes = CandidateSpans(
-                suffixes.seq_index[keep],
-                suffixes.start[keep],
-                suffixes.stop[keep],
-                suffixes.mass[keep],
-                suffixes.mod_delta[keep],
-            )
+            suffixes = suffixes.take(keep)
         return CandidateSpans.concat([prefixes, suffixes])
+
+
+class PresenceCounter:
+    """Counts flagged candidates per mass window without enumeration.
+
+    Built by :meth:`MassIndex.presence_counter`.  Holds, aligned to the
+    index's sorted prefix/suffix/parent mass arrays, cumulative counts of
+    spans containing >= 1 flagged residue; a window count is then four
+    binary searches and three subtractions.  Full-length spans (present
+    in both the prefix and suffix arrays) are subtracted once via the
+    parent counts, mirroring :meth:`MassIndex.count_many`.
+    """
+
+    __slots__ = ("_index", "_prefix_cnt", "_suffix_cnt", "_parent_cnt")
+
+    def __init__(
+        self,
+        index: MassIndex,
+        prefix_cnt: np.ndarray,
+        suffix_cnt: np.ndarray,
+        parent_cnt: np.ndarray,
+    ):
+        self._index = index
+        self._prefix_cnt = prefix_cnt
+        self._suffix_cnt = suffix_cnt
+        self._parent_cnt = parent_cnt
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self._prefix_cnt.nbytes + self._suffix_cnt.nbytes + self._parent_cnt.nbytes
+        )
+
+    def count_in_window(self, lo: float, hi: float) -> int:
+        """Flagged candidates with mass in ``[lo, hi]``, exactly."""
+        idx = self._index
+        p0 = np.searchsorted(idx._prefix_sorted, lo, side="left")
+        p1 = np.searchsorted(idx._prefix_sorted, hi, side="right")
+        s0 = np.searchsorted(idx._suffix_sorted, lo, side="left")
+        s1 = np.searchsorted(idx._suffix_sorted, hi, side="right")
+        f0 = np.searchsorted(idx._parent_sorted, lo, side="left")
+        f1 = np.searchsorted(idx._parent_sorted, hi, side="right")
+        return int(
+            (self._prefix_cnt[p1] - self._prefix_cnt[p0])
+            + (self._suffix_cnt[s1] - self._suffix_cnt[s0])
+            - (self._parent_cnt[f1] - self._parent_cnt[f0])
+        )

@@ -93,6 +93,15 @@ class CostModel:
             raise ValueError(f"candidates must be >= 0, got {candidates}")
         return candidates * (self.rho(scorer) + self.tau_cost)
 
+    def candidates_per_second(self, scorer: Scorer) -> float:
+        """Modeled scoring throughput: 1 / (rho + tau_cost).
+
+        The virtual-time counterpart of the real ``candidates_per_second``
+        reported by engines and ``benchmarks/bench_kernels.py``, so
+        modeled and measured throughput can be compared in one unit.
+        """
+        return 1.0 / (self.rho(scorer) + self.tau_cost)
+
     def scan_time(self, shard_bytes: int) -> float:
         return self.scan_per_byte * shard_bytes
 

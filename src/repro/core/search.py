@@ -16,25 +16,36 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.candidates.batch import CandidateBatch
 from repro.candidates.generator import CandidateGenerator
 from repro.chem.protein import ProteinDatabase
 from repro.core.config import ExecutionMode, SearchConfig
-from repro.scoring.base import Scorer
-from repro.scoring.hits import Hit, TopHitList
+from repro.scoring.base import Scorer, batch_scores
+from repro.scoring.hits import TopHitList
 from repro.spectra.library import SpectralLibrary
 from repro.spectra.spectrum import Spectrum
 
 
 @dataclass
 class ShardStats:
-    """Work counters from searching one shard (feeds the cost model)."""
+    """Work counters from searching one shard (feeds the cost model).
+
+    ``rows_scored`` counts scorer evaluation rows, which exceeds
+    ``candidates_evaluated`` when variable PTMs expand candidates into
+    one row per admissible site; ``batches`` counts vectorized scoring
+    calls (one per non-empty query/shard span set).
+    """
 
     candidates_evaluated: int = 0
     queries_processed: int = 0
+    batches: int = 0
+    rows_scored: int = 0
 
     def merge(self, other: "ShardStats") -> None:
         self.candidates_evaluated += other.candidates_evaluated
         self.queries_processed += other.queries_processed
+        self.batches += other.batches
+        self.rows_scored += other.rows_scored
 
 
 class ShardSearcher:
@@ -77,6 +88,15 @@ class ShardSearcher:
         Missing hit lists are created with the config's tau.  In MODELED
         execution, candidates are counted (exactly) but not scored and no
         hits are recorded.
+
+        Each query's whole candidate set is scored as one
+        :class:`~repro.candidates.batch.CandidateBatch` (vectorized
+        kernels, no per-candidate Python loop); length and score-cutoff
+        filters are applied as array masks, and the survivors enter the
+        hit list through one bulk top-tau offer.  Scores — and therefore
+        the retained hits — are bitwise identical to the per-candidate
+        path, which remains available as the oracle
+        (:func:`repro.scoring.base.score_batch_fallback`).
         """
         stats = ShardStats()
         cfg = self.config
@@ -93,39 +113,37 @@ class ShardSearcher:
                 hitlist.evaluated += count
                 continue
             spans = self.generator.candidates(spectrum)
-            long_enough = (spans.stop - spans.start) >= min_len
-            stats.candidates_evaluated += len(spans)
-            shard_ids = self.shard.ids
-            offsets = self.shard.offsets
-            residues = self.shard.residues
-            for i in range(len(spans)):
-                if not long_enough[i]:
-                    hitlist.evaluated += 1
+            n_total = len(spans)
+            stats.candidates_evaluated += n_total
+            if n_total == 0:
+                continue
+            long_enough = spans.lengths >= min_len
+            n_short = n_total - int(long_enough.sum())
+            if n_short:
+                hitlist.evaluated += n_short  # skipped, but still offered
+                spans = spans.take(long_enough)
+                if len(spans) == 0:
                     continue
-                seq_idx = int(spans.seq_index[i])
-                start = int(spans.start[i])
-                stop = int(spans.stop[i])
-                base = int(offsets[seq_idx])
-                candidate = residues[base + start : base + stop]
-                mod_delta = float(spans.mod_delta[i])
-                if mod_delta != 0.0:
-                    score = self._score_modified(spectrum, candidate, mod_delta)
-                else:
-                    score = self.scorer.score(spectrum, candidate)
-                if cfg.score_cutoff is not None and score < cfg.score_cutoff:
-                    hitlist.evaluated += 1
-                    continue
-                hitlist.add(
-                    Hit(
-                        query_id=spectrum.query_id,
-                        score=score,
-                        protein_id=int(shard_ids[seq_idx]),
-                        start=start,
-                        stop=stop,
-                        mass=float(spans.mass[i]),
-                        mod_delta=float(spans.mod_delta[i]),
-                    )
-                )
+            batch = CandidateBatch.from_spans(self.shard, spans, self._mod_targets)
+            scores = batch_scores(self.scorer, spectrum, batch)
+            stats.batches += 1
+            stats.rows_scored += batch.num_rows
+            if cfg.score_cutoff is not None:
+                passing = scores >= cfg.score_cutoff
+                n_fail = len(scores) - int(passing.sum())
+                if n_fail:
+                    hitlist.evaluated += n_fail
+                    spans = spans.take(passing)
+                    scores = scores[passing]
+            hitlist.add_batch(
+                spectrum.query_id,
+                scores,
+                self.shard.ids[spans.seq_index],
+                spans.start,
+                spans.stop,
+                spans.mass,
+                spans.mod_delta,
+            )
         return stats
 
     def _score_modified(
@@ -200,4 +218,9 @@ def search_serial(
         candidates_evaluated=stats.candidates_evaluated,
         virtual_time=virtual,
         peak_memory={0: cost.shard_bytes(database) + sum(q.nbytes for q in queries)},
+        extras={
+            "batches": stats.batches,
+            "rows_scored": stats.rows_scored,
+            "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
+        },
     )

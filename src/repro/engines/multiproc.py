@@ -27,7 +27,7 @@ from repro.chem.protein import ProteinDatabase
 from repro.core.config import SearchConfig
 from repro.core.partition import partition_database
 from repro.core.results import SearchReport, merge_rank_hits
-from repro.core.search import ShardSearcher
+from repro.core.search import ShardSearcher, ShardStats
 from repro.scoring.hits import Hit, TopHitList
 from repro.spectra.spectrum import Spectrum
 
@@ -46,7 +46,7 @@ def _unpack_spectrum(wire: _SpectrumWire) -> Spectrum:
 
 def _worker(
     task: Tuple[_ShardWire, List[_SpectrumWire], SearchConfig]
-) -> Tuple[Dict[int, List[Hit]], int]:
+) -> Tuple[Dict[int, List[Hit]], ShardStats]:
     """Search one (shard, query block) pair; runs in a worker process."""
     shard_wire, query_wires, config = task
     shard = ProteinDatabase.from_buffers(*shard_wire)
@@ -55,7 +55,7 @@ def _worker(
     hitlists: Dict[int, TopHitList] = {}
     stats = searcher.search(queries, hitlists)
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
-    return hits, stats.candidates_evaluated
+    return hits, stats
 
 
 def run_multiprocess_search(
@@ -96,12 +96,20 @@ def run_multiprocess_search(
     # make empty hit lists visible for queries with no candidates anywhere
     for q in queries:
         hits.setdefault(q.query_id, [])
-    candidates = sum(r[1] for r in results)
+    stats = ShardStats()
+    for _hits, worker_stats in results:
+        stats.merge(worker_stats)
     return SearchReport(
         algorithm="multiprocess",
         num_ranks=num_workers,
         hits=hits,
-        candidates_evaluated=candidates,
+        candidates_evaluated=stats.candidates_evaluated,
         virtual_time=wall,
-        extras={"num_shards": len(shards), "wall_time": wall},
+        extras={
+            "num_shards": len(shards),
+            "wall_time": wall,
+            "batches": stats.batches,
+            "rows_scored": stats.rows_scored,
+            "candidates_per_second": stats.candidates_evaluated / wall if wall > 0 else 0.0,
+        },
     )

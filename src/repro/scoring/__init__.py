@@ -1,6 +1,6 @@
 """Statistical scoring models and hit bookkeeping."""
 
-from repro.scoring.base import Scorer
+from repro.scoring.base import Scorer, batch_scores, score_batch_fallback
 from repro.scoring.hits import Hit, TopHitList, merge_hit_lists
 from repro.scoring.shared_peaks import SharedPeakScorer
 from repro.scoring.likelihood import LikelihoodRatioScorer
@@ -19,6 +19,8 @@ from repro.scoring.statistics import (
 
 __all__ = [
     "Scorer",
+    "batch_scores",
+    "score_batch_fallback",
     "Hit",
     "TopHitList",
     "merge_hit_lists",

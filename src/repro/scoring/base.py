@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.candidates.batch import CandidateBatch
 from repro.spectra.spectrum import Spectrum
 
 
@@ -55,3 +56,53 @@ class Scorer(Protocol):
         deterministic.
         """
         ...
+
+    def score_batch(self, spectrum: Spectrum, batch: CandidateBatch) -> np.ndarray:
+        """Score every candidate of a batch against one spectrum.
+
+        Returns a float64 array of per-candidate scores (PTM candidates
+        already reduced to their best site).  Entry ``i`` MUST be bitwise
+        identical to what the per-candidate :meth:`score` /
+        :meth:`score_modified` path produces for candidate ``i`` — the
+        scalar path is the correctness oracle, and the paper's validation
+        property (parallel == serial, exactly) extends to batched
+        execution only under that contract.
+
+        Scorers without a vectorized implementation may omit this method;
+        :func:`batch_scores` falls back to the scalar loop.
+        """
+        ...
+
+
+def score_batch_fallback(
+    scorer: Scorer, spectrum: Spectrum, batch: CandidateBatch
+) -> np.ndarray:
+    """Per-candidate oracle: score a batch through the scalar interface.
+
+    This is the reference implementation every ``score_batch`` must match
+    bitwise.  It is also the fallback for scorers that never got a
+    vectorized kernel (e.g. the scipy-based hypergeometric model).
+    """
+    row_scores = np.empty(batch.num_rows, dtype=np.float64)
+    for r in range(batch.num_rows):
+        residues = batch.row_residues(r)
+        site = int(batch.row_site[r])
+        if site >= 0:
+            row_scores[r] = scorer.score_modified(
+                spectrum, residues, site, float(batch.row_delta[r])
+            )
+        else:
+            row_scores[r] = scorer.score(spectrum, residues)
+    return batch.reduce_rows(row_scores)
+
+
+def batch_scores(
+    scorer: Scorer, spectrum: Spectrum, batch: CandidateBatch
+) -> np.ndarray:
+    """Dispatch to a scorer's ``score_batch``, or the scalar fallback."""
+    if len(batch) == 0:
+        return np.empty(0, dtype=np.float64)
+    impl = getattr(scorer, "score_batch", None)
+    if impl is not None:
+        return impl(spectrum, batch)
+    return score_batch_fallback(scorer, spectrum, batch)

@@ -15,6 +15,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=False)
 class Hit:
@@ -81,6 +83,9 @@ class TopHitList:
     def add(self, hit: Hit) -> bool:
         """Offer a hit; returns True if retained in the top tau."""
         self.evaluated += 1
+        return self._push(hit)
+
+    def _push(self, hit: Hit) -> bool:
         key = self._heap_key(hit)
         if len(self._heap) < self.tau:
             heapq.heappush(self._heap, (key, hit))
@@ -89,6 +94,61 @@ class TopHitList:
             heapq.heapreplace(self._heap, (key, hit))
             return True
         return False
+
+    def add_batch(
+        self,
+        query_id: int,
+        scores: np.ndarray,
+        protein_ids: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        masses: np.ndarray,
+        mod_deltas: np.ndarray,
+    ) -> int:
+        """Offer a whole array of scored candidates; returns the number retained.
+
+        The retained set is *provably identical* to offering the
+        candidates one at a time through :meth:`add`, but Hit objects are
+        only materialised for the few that can still matter:
+
+        * candidates scoring strictly below the currently-worst retained
+          hit (with a full list) can never enter — ties are kept, because
+          the structural tie-break may still admit them;
+        * if more than tau survivors remain, a candidate scoring strictly
+          below the batch's tau-th highest score is evicted by those tau
+          better batch members no matter the offer order, so only
+          ``score >= tau-th highest`` survivors (ties again kept) are
+          pushed.
+
+        Survivors go through the same deterministic heap as the scalar
+        path, in candidate order, so tie resolution is unchanged.
+        """
+        n = len(scores)
+        self.evaluated += n
+        if n == 0:
+            return 0
+        idx = np.arange(n)
+        if len(self._heap) >= self.tau:
+            idx = idx[scores >= self._heap[0][1].score]
+        if len(idx) > self.tau:
+            kept = scores[idx]
+            threshold = np.partition(kept, len(kept) - self.tau)[len(kept) - self.tau]
+            idx = idx[kept >= threshold]
+        retained = 0
+        for i in idx:
+            i = int(i)
+            hit = Hit(
+                query_id=query_id,
+                score=float(scores[i]),
+                protein_id=int(protein_ids[i]),
+                start=int(starts[i]),
+                stop=int(stops[i]),
+                mass=float(masses[i]),
+                mod_delta=float(mod_deltas[i]),
+            )
+            if self._push(hit):
+                retained += 1
+        return retained
 
     def would_retain(self, score: float) -> bool:
         """Cheap pre-check: could any hit with this score enter the list?

@@ -37,10 +37,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.spectra.binning import match_peaks
+from repro.candidates.batch import CandidateBatch
+from repro.scoring.base import score_batch_fallback
+from repro.spectra.binning import match_peaks, match_peaks_many
 from repro.spectra.library import SpectralLibrary
 from repro.spectra.spectrum import Spectrum
-from repro.spectra.theoretical import theoretical_spectrum
+from repro.spectra.theoretical import theoretical_spectrum, theoretical_spectrum_rows
 
 
 class LikelihoodRatioScorer:
@@ -111,3 +113,29 @@ class LikelihoodRatioScorer:
         llr_matched = np.log(p1 / p0)
         llr_unmatched = np.log((1.0 - p1) / (1.0 - p0))
         return float(np.where(matched, llr_matched, llr_unmatched).sum())
+
+    def score_batch(self, spectrum: Spectrum, batch: CandidateBatch) -> np.ndarray:
+        """Vectorized scoring; bitwise identical to the scalar path.
+
+        With a spectral library configured, unmodified candidates need a
+        per-candidate library lookup, so the batch falls back to the
+        scalar oracle; the on-the-fly theoretical model (the common case,
+        and the only model PTM rows ever use) is fully vectorized.
+        """
+        if self.library is not None:
+            return score_batch_fallback(self, spectrum, batch)
+        out = np.full(batch.num_rows, -math.inf)
+        if spectrum.num_peaks > 0:
+            p0 = self._chance_match_probability(spectrum)
+            observed = np.ascontiguousarray(spectrum.mz)
+            for group in batch.length_groups():
+                if group.length < 2:
+                    continue  # empty model spectrum, score stays -inf
+                model_mz, model_int = theoretical_spectrum_rows(group.mass_rows())
+                rel = model_int / model_int.max(axis=1, keepdims=True)
+                p1 = np.clip(self.p_detect * rel, 1e-6, 0.999)
+                matched = match_peaks_many(model_mz, observed, self.fragment_tolerance)
+                llr_matched = np.log(p1 / p0)
+                llr_unmatched = np.log((1.0 - p1) / (1.0 - p0))
+                out[group.rows] = np.where(matched, llr_matched, llr_unmatched).sum(axis=1)
+        return batch.reduce_rows(out)

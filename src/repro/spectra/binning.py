@@ -60,6 +60,152 @@ def count_matches(
     return int(match_peaks(observed_mz, ladder_mz, tolerance).sum())
 
 
+# -- batched matchers ------------------------------------------------------
+#
+# The batch scoring path asks the same questions for *matrices* of
+# fragment ladders — one row per candidate — against a single observed
+# spectrum.  All batched kernels below evaluate exactly the scalar
+# ``match_peaks`` predicate (peak ``p`` matches fragment ``f`` iff
+# ``p - tol <= f <= p + tol`` with the same rounded endpoint values), so
+# their outputs agree with per-candidate loops bit for bit.
+
+
+def _ragged_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + l)`` for each (start, length) pair."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    prev = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(prev, lengths)
+    return np.repeat(starts, lengths) + ramp
+
+
+def match_peaks_many(
+    query_rows: np.ndarray, ladder_mz: np.ndarray, tolerance: float
+) -> np.ndarray:
+    """Batched :func:`match_peaks`: boolean matrix over ``query_rows``.
+
+    ``query_rows`` is ``(n, F)`` (rows need not be sorted); ``ladder_mz``
+    is one sorted reference array.  Entry ``[r, j]`` equals the scalar
+    ``match_peaks(query_rows[r], ladder_mz, tolerance)[j]``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if len(ladder_mz) == 0:
+        return np.zeros(query_rows.shape, dtype=bool)
+    lo = np.searchsorted(ladder_mz, query_rows - tolerance, side="left")
+    hi = np.searchsorted(ladder_mz, query_rows + tolerance, side="right")
+    return hi > lo
+
+
+def matched_peak_intervals(
+    observed_mz: np.ndarray, frag_rows: np.ndarray, tolerance: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-fragment half-open intervals of matched observed-peak indices.
+
+    For fragment ``frag_rows[r, j]`` the matched peaks are exactly
+    ``observed_mz[lo[r, j]:hi[r, j]]`` — the peaks ``p`` satisfying the
+    scalar predicate ``p - tol <= f <= p + tol``.  ``observed_mz`` must be
+    sorted ascending.
+    """
+    pm = observed_mz - tolerance
+    pp = observed_mz + tolerance
+    lo = np.searchsorted(pp, frag_rows, side="left")
+    hi = np.searchsorted(pm, frag_rows, side="right")
+    return lo, hi
+
+
+def count_matches_rows(
+    observed_mz: np.ndarray, frag_rows: np.ndarray, tolerance: float
+) -> np.ndarray:
+    """Batched :func:`count_matches`: shared peak count per fragment row.
+
+    Each row of ``frag_rows`` must be sorted ascending (fragment ladders
+    are).  The count is the size of the *union* of the per-fragment
+    matched-peak intervals, so peaks matched by several fragments count
+    once — exactly the scalar boolean-mask semantics.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    n, f = frag_rows.shape
+    if f == 0 or len(observed_mz) == 0:
+        return np.zeros(n, dtype=np.int64)
+    lo, hi = matched_peak_intervals(observed_mz, frag_rows, tolerance)
+    # Rows sorted ascending => hi is non-decreasing along each row, so the
+    # peaks newly covered by fragment j are [max(lo_j, hi_{j-1}), hi_j).
+    prev = np.concatenate([np.zeros((n, 1), dtype=hi.dtype), hi[:, :-1]], axis=1)
+    new = hi - np.maximum(lo, prev)
+    return np.maximum(new, 0).sum(axis=1).astype(np.int64)
+
+
+def matched_peak_segments(
+    observed_mz: np.ndarray, frag_rows: np.ndarray, tolerance: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matched observed-peak indices per fragment row, in ragged form.
+
+    Returns ``(flat_idx, row_offsets)``: row ``r``'s matched peaks are
+    ``flat_idx[row_offsets[r]:row_offsets[r + 1]]``, ascending — the same
+    order a scalar boolean mask enumerates them.  Rows of ``frag_rows``
+    must be sorted ascending.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    n, f = frag_rows.shape
+    if f == 0 or len(observed_mz) == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(n + 1, dtype=np.int64)
+    lo, hi = matched_peak_intervals(observed_mz, frag_rows, tolerance)
+    prev = np.concatenate([np.zeros((n, 1), dtype=hi.dtype), hi[:, :-1]], axis=1)
+    starts = np.maximum(lo, prev)
+    lens = np.maximum(hi - starts, 0)
+    flat_idx = _ragged_arange(
+        starts.ravel().astype(np.int64), lens.ravel().astype(np.int64)
+    )
+    row_offsets = np.concatenate(([0], np.cumsum(lens.sum(axis=1)))).astype(np.int64)
+    return flat_idx, row_offsets
+
+
+def row_segment_sums(
+    values: np.ndarray, flat_idx: np.ndarray, row_offsets: np.ndarray
+) -> np.ndarray:
+    """Per-row sums of ``values[flat_idx[segment]]``, bitwise-stable.
+
+    Rows are grouped by segment length and each group is gathered into a
+    fresh C-contiguous matrix before a row-wise ``sum``, so every row's
+    result is bitwise identical to summing its gathered values as a 1-D
+    array — the scalar kernels' operation order.  Empty segments sum to
+    ``0.0``.
+    """
+    n = len(row_offsets) - 1
+    out = np.zeros(n, dtype=np.float64)
+    counts = np.diff(row_offsets)
+    for k in np.unique(counts):
+        k = int(k)
+        if k == 0:
+            continue
+        rows = np.nonzero(counts == k)[0]
+        seg = flat_idx[row_offsets[rows][:, None] + np.arange(k)]
+        out[rows] = values[seg].sum(axis=1)
+    return out
+
+
+def matched_intensity_rows(
+    observed_mz: np.ndarray,
+    observed_intensity: np.ndarray,
+    frag_rows: np.ndarray,
+    tolerance: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`matched_intensity`: ``(counts, intensity_sums)``.
+
+    Row ``r`` reproduces the scalar
+    ``matched_intensity(observed_mz, observed_intensity, frag_rows[r], tol)``
+    bit for bit (see :func:`row_segment_sums` for why the float sums are
+    exact).  Rows of ``frag_rows`` must be sorted ascending.
+    """
+    flat_idx, row_offsets = matched_peak_segments(observed_mz, frag_rows, tolerance)
+    counts = np.diff(row_offsets).astype(np.int64)
+    return counts, row_segment_sums(observed_intensity, flat_idx, row_offsets)
+
+
 def matched_intensity(
     observed_mz: np.ndarray,
     observed_intensity: np.ndarray,

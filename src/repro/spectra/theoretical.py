@@ -118,6 +118,65 @@ def theoretical_spectrum(
     return mz[order], intensity[order]
 
 
+def fragment_mz_rows(
+    mass_rows: np.ndarray,
+    series: IonSeries,
+    charge: int = 1,
+) -> np.ndarray:
+    """Batched :func:`fragment_mz` over per-candidate residue-mass rows.
+
+    ``mass_rows`` is ``(n, L)`` — one row of residue masses per candidate,
+    with any PTM delta already applied (see
+    :meth:`repro.candidates.batch.LengthGroup.mass_rows`).  Returns the
+    ``(n, L - 1)`` fragment m/z matrix.  Row ``r`` is bitwise identical to
+    the scalar ``fragment_mz`` of the same candidate: the per-row
+    ``cumsum`` is the same sequential fold the 1-D kernel performs.
+    """
+    if charge < 1:
+        raise ValueError(f"charge must be >= 1, got {charge}")
+    n, length = mass_rows.shape
+    if length < 2:
+        return np.empty((n, 0), dtype=np.float64)
+    if series is IonSeries.Y:
+        neutral = mass_rows[:, ::-1][:, :-1].cumsum(axis=1) + WATER_MASS
+    else:
+        neutral = mass_rows[:, :-1].cumsum(axis=1)
+        if series is IonSeries.A:
+            neutral = neutral - _CO_MASS
+    return (neutral + charge * PROTON_MASS) / charge
+
+
+def theoretical_spectrum_rows(
+    mass_rows: np.ndarray,
+    series: Sequence[IonSeries] = (IonSeries.B, IonSeries.Y),
+    charges: Iterable[int] = (1,),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`theoretical_spectrum`: ``(mz_rows, intensity_rows)``.
+
+    Both outputs are ``(n, F)`` with each row sorted by m/z via the same
+    stable key the scalar kernel uses, so row ``r`` reproduces the scalar
+    model spectrum of candidate ``r`` bit for bit.
+    """
+    n = mass_rows.shape[0]
+    mz_parts = []
+    int_parts = []
+    for s in series:
+        w = _SERIES_WEIGHT[s]
+        for z in charges:
+            frag = fragment_mz_rows(mass_rows, s, z)
+            mz_parts.append(frag)
+            int_parts.append(np.full(frag.shape, w / z))
+    if not mz_parts:
+        return np.empty((n, 0)), np.empty((n, 0))
+    mz = np.concatenate(mz_parts, axis=1)
+    intensity = np.concatenate(int_parts, axis=1)
+    order = np.argsort(mz, axis=1, kind="stable")
+    return (
+        np.take_along_axis(mz, order, axis=1),
+        np.take_along_axis(intensity, order, axis=1),
+    )
+
+
 def modified_by_ion_ladder(
     encoded: np.ndarray,
     site: int,
@@ -144,6 +203,27 @@ def modified_by_ion_ladder(
     y = (total - csum[:-1]) + WATER_MASS + PROTON_MASS
     ladder = np.concatenate((b, y))
     ladder.sort()
+    return ladder
+
+
+def by_ion_ladder_rows(mass_rows: np.ndarray) -> np.ndarray:
+    """Batched :func:`by_ion_ladder` over per-candidate residue-mass rows.
+
+    ``mass_rows`` is ``(n, L)`` with PTM deltas already applied, so this
+    also covers :func:`modified_by_ion_ladder` (both scalar kernels share
+    the same arithmetic once the site delta is folded into the residue
+    masses).  Returns the ``(n, 2 * (L - 1))`` sorted ladder matrix; row
+    ``r`` is bitwise identical to the scalar ladder of candidate ``r``.
+    """
+    n, length = mass_rows.shape
+    if length < 2:
+        return np.empty((n, 0), dtype=np.float64)
+    csum = mass_rows.cumsum(axis=1)
+    total = csum[:, -1:]
+    b = csum[:, :-1] + PROTON_MASS
+    y = (total - csum[:, :-1]) + WATER_MASS + PROTON_MASS
+    ladder = np.concatenate((b, y), axis=1)
+    ladder.sort(axis=1)
     return ladder
 
 

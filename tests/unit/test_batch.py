@@ -1,0 +1,190 @@
+"""Unit tests for the batch candidate structure and batched kernels."""
+
+import numpy as np
+import pytest
+
+from repro.candidates.batch import CandidateBatch
+from repro.candidates.generator import CandidateGenerator
+from repro.chem.amino_acids import STANDARD_MODIFICATIONS, encode_sequence
+from repro.chem.protein import ProteinDatabase
+from repro.spectra.binning import (
+    count_matches,
+    count_matches_rows,
+    match_peaks,
+    match_peaks_many,
+    matched_intensity,
+    matched_intensity_rows,
+    row_segment_sums,
+)
+from repro.spectra.theoretical import (
+    IonSeries,
+    by_ion_ladder,
+    by_ion_ladder_rows,
+    fragment_mz,
+    fragment_mz_rows,
+    theoretical_spectrum,
+    theoretical_spectrum_rows,
+)
+from repro.chem.amino_acids import mass_table
+
+MODS = [STANDARD_MODIFICATIONS["oxidation"], STANDARD_MODIFICATIONS["phosphorylation_s"]]
+MOD_TARGETS = {m.delta_mass: ord(m.target) for m in MODS}
+
+
+@pytest.fixture()
+def db():
+    return ProteinDatabase.from_sequences(["MKTAYIAK", "SSMSK", "GG", "A"])
+
+
+def all_spans(db, deltas=None):
+    gen = CandidateGenerator(db, delta=0.0)
+    spans = gen.index.candidates_in_window(0.0, 1e9)
+    if deltas is not None:
+        from dataclasses import replace
+
+        spans = replace(spans, mod_delta=np.asarray(deltas, dtype=np.float64))
+    return spans
+
+
+class TestCandidateBatch:
+    def test_gather_matches_shard_slices(self, db):
+        spans = all_spans(db)
+        batch = CandidateBatch.from_spans(db, spans, MOD_TARGETS)
+        assert len(batch) == len(spans) == batch.num_rows
+        for i in range(len(spans)):
+            seq = db.sequence(int(spans.seq_index[i]))
+            expected = seq[int(spans.start[i]) : int(spans.stop[i])]
+            got = batch.residues[int(batch.offsets[i]) : int(batch.offsets[i + 1])]
+            assert np.array_equal(got, expected)
+
+    def test_unmodified_batch_has_one_row_per_candidate(self, db):
+        spans = all_spans(db)
+        batch = CandidateBatch.from_spans(db, spans, MOD_TARGETS)
+        assert np.array_equal(batch.row_candidate, np.arange(len(spans)))
+        assert np.all(batch.row_site == -1)
+        assert np.all(batch.row_delta == 0.0)
+        scores = np.arange(len(spans), dtype=np.float64)
+        assert batch.reduce_rows(scores) is scores  # passthrough, no copy
+
+    def test_ptm_rows_expand_per_site(self, db):
+        spans = all_spans(db)
+        ox = MODS[0].delta_mass  # target M
+        deltas = np.full(len(spans), ox)
+        spans = all_spans(db, deltas)
+        batch = CandidateBatch.from_spans(db, spans, MOD_TARGETS)
+        for i in range(len(spans)):
+            seq = db.sequence(int(spans.seq_index[i]))
+            candidate = seq[int(spans.start[i]) : int(spans.stop[i])]
+            sites = np.nonzero(candidate == ord("M"))[0]
+            lo, hi = int(batch.row_offsets[i]), int(batch.row_offsets[i + 1])
+            if len(sites):
+                assert np.array_equal(batch.row_site[lo:hi], sites)
+                assert np.all(batch.row_delta[lo:hi] == ox)
+            else:  # no target residue: single unmodified-model row
+                assert hi - lo == 1
+                assert batch.row_site[lo] == -1
+                assert batch.row_delta[lo] == 0.0
+
+    def test_unknown_delta_rows_stay_unmodified(self, db):
+        n = len(all_spans(db))
+        deltas = np.where(np.arange(n) % 2 == 0, 99.9, 0.0)
+        spans = all_spans(db, deltas)
+        batch = CandidateBatch.from_spans(db, spans, MOD_TARGETS)
+        assert batch.num_rows == len(spans)
+        assert np.all(batch.row_site == -1)
+
+    def test_length_groups_partition_rows(self, db):
+        n = len(all_spans(db))
+        deltas = np.where(np.arange(n) % 3 == 0, MODS[0].delta_mass, 0.0)
+        spans = all_spans(db, deltas)
+        batch = CandidateBatch.from_spans(db, spans, MOD_TARGETS)
+        seen = np.concatenate([g.rows for g in batch.length_groups()])
+        assert sorted(seen.tolist()) == list(range(batch.num_rows))
+        for g in batch.length_groups():
+            assert g.residue_rows.shape == (len(g.rows), g.length)
+            for j, r in enumerate(g.rows):
+                assert np.array_equal(g.residue_rows[j], batch.row_residues(int(r)))
+
+    def test_mass_rows_apply_site_delta(self):
+        db = ProteinDatabase.from_sequences(["MAM"])
+        spans = all_spans(db, None)
+        full = spans.take(spans.lengths == 3)
+        from dataclasses import replace
+
+        full = replace(full, mod_delta=np.full(len(full), MODS[0].delta_mass))
+        batch = CandidateBatch.from_spans(db, full, MOD_TARGETS)
+        (group,) = batch.length_groups()
+        base = mass_table(True)[encode_sequence("MAM")]
+        for j in range(group.residue_rows.shape[0]):
+            expected = base.copy()
+            expected[group.sites[j]] += group.deltas[j]
+            assert group.mass_rows()[j].tobytes() == expected.tobytes()
+
+
+class TestBatchedKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(42)
+        codes = encode_sequence("ACDEFGHIKLMNPQRSTVWY")
+        self.rows = rng.choice(codes, size=(25, 9))
+        self.masses = mass_table(True)[self.rows]
+        self.obs_mz = np.sort(rng.uniform(100.0, 1800.0, 50))
+        self.obs_int = rng.uniform(0.0, 1.0, 50)
+
+    def test_ladder_rows_match_scalar(self):
+        ladders = by_ion_ladder_rows(self.masses)
+        for i, row in enumerate(self.rows):
+            assert ladders[i].tobytes() == by_ion_ladder(row).tobytes()
+
+    def test_fragment_rows_match_scalar(self):
+        for series in (IonSeries.A, IonSeries.B, IonSeries.Y):
+            frags = fragment_mz_rows(self.masses, series)
+            for i, row in enumerate(self.rows):
+                assert frags[i].tobytes() == fragment_mz(row, series).tobytes()
+
+    def test_theoretical_rows_match_scalar(self):
+        mz, intensity = theoretical_spectrum_rows(self.masses)
+        for i, row in enumerate(self.rows):
+            ref_mz, ref_int = theoretical_spectrum(row)
+            assert mz[i].tobytes() == ref_mz.tobytes()
+            assert intensity[i].tobytes() == ref_int.tobytes()
+
+    def test_short_rows_yield_empty_fragments(self):
+        short = self.masses[:, :1]
+        assert by_ion_ladder_rows(short).shape == (25, 0)
+        assert fragment_mz_rows(short, IonSeries.B).shape == (25, 0)
+
+    def test_count_matches_rows_match_scalar(self):
+        ladders = by_ion_ladder_rows(self.masses)
+        counts = count_matches_rows(self.obs_mz, ladders, 0.5)
+        for i in range(len(ladders)):
+            assert counts[i] == count_matches(self.obs_mz, ladders[i], 0.5)
+
+    def test_matched_intensity_rows_match_scalar(self):
+        ladders = by_ion_ladder_rows(self.masses)
+        counts, sums = matched_intensity_rows(self.obs_mz, self.obs_int, ladders, 0.5)
+        for i in range(len(ladders)):
+            ref_n, ref_sum = matched_intensity(self.obs_mz, self.obs_int, ladders[i], 0.5)
+            assert counts[i] == ref_n
+            assert sums[i].tobytes() == np.float64(ref_sum).tobytes()
+
+    def test_match_peaks_many_match_scalar(self):
+        ladders = by_ion_ladder_rows(self.masses)
+        mask = match_peaks_many(ladders, self.obs_mz, 0.5)
+        for i in range(len(ladders)):
+            assert np.array_equal(mask[i], match_peaks(ladders[i], self.obs_mz, 0.5))
+
+    def test_empty_observed_spectrum(self):
+        ladders = by_ion_ladder_rows(self.masses)
+        empty = np.empty(0)
+        assert np.all(count_matches_rows(empty, ladders, 0.5) == 0)
+        counts, sums = matched_intensity_rows(empty, empty, ladders, 0.5)
+        assert np.all(counts == 0) and np.all(sums == 0.0)
+
+    def test_row_segment_sums_groups_by_length(self):
+        values = np.array([0.5, 1.5, 2.5, 3.5])
+        flat = np.array([0, 1, 2, 0, 3], dtype=np.int64)
+        offsets = np.array([0, 3, 3, 5], dtype=np.int64)
+        out = row_segment_sums(values, flat, offsets)
+        assert out[0] == values[[0, 1, 2]].sum()
+        assert out[1] == 0.0
+        assert out[2] == values[[0, 3]].sum()
