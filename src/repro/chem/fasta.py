@@ -15,6 +15,7 @@ import os
 from typing import Iterable, Iterator, List, TextIO, Union
 
 from repro.chem.protein import ProteinDatabase, ProteinRecord
+from repro.errors import FastaError
 
 _PathOrHandle = Union[str, os.PathLike, TextIO]
 
@@ -60,7 +61,7 @@ def read_fasta_chunk(path: Union[str, os.PathLike], start: int, stop: int) -> Li
     are fully read".
     """
     if start < 0 or stop < start:
-        raise ValueError(f"invalid byte range [{start}, {stop})")
+        raise FastaError(f"invalid byte range [{start}, {stop})")
     records: List[ProteinRecord] = []
     with open(path, "rb") as fh:
         fh.seek(start)
@@ -101,7 +102,7 @@ def _iter_records(fh: Iterable[str]) -> Iterator[ProteinRecord]:
             parts = []
         elif line:
             if name is None:
-                raise ValueError("FASTA content before first '>' header")
+                raise FastaError("FASTA content before first '>' header")
             parts.append(line.strip())
     if name is not None:
         yield ProteinRecord(name, "".join(parts))

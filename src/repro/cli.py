@@ -13,30 +13,58 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.calibration import calibrate_rho
 from repro.analysis.metrics import scaling_table
 from repro.analysis.tables import format_runtime_table, format_scaling_rows
-from repro.chem.fasta import write_fasta
+from repro.chem.fasta import read_fasta, write_fasta
 from repro.core.config import ExecutionMode, SearchConfig
 from repro.core.driver import ALGORITHMS, run_search
 from repro.core.results import reports_equal
 from repro.core.search import search_serial
+from repro.errors import ReproError
 from repro.utils.format import format_si
 from repro.workloads.datasets import load_dataset
 from repro.workloads.queries import generate_queries
 from repro.workloads.synthetic import generate_database
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a value > 0, got {value}")
+    return value
+
+
+def _existing_file(text: str) -> str:
+    if not os.path.isfile(text):
+        raise argparse.ArgumentTypeError(f"file not found: {text}")
+    return text
+
+
 def _add_search_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--database-size", "-n", type=int, default=2000, help="number of synthetic proteins")
-    p.add_argument("--queries", "-m", type=int, default=100, help="number of query spectra")
+    p.add_argument("--database-size", "-n", type=_positive_int, default=2000, help="number of synthetic proteins")
+    p.add_argument("--queries", "-m", type=_positive_int, default=100, help="number of query spectra")
     p.add_argument("--seed", type=int, default=202, help="database seed")
     p.add_argument("--query-seed", type=int, default=17, help="query workload seed")
-    p.add_argument("--delta", type=float, default=3.0, help="parent-mass tolerance (Da)")
-    p.add_argument("--tau", type=int, default=50, help="top hits kept per query")
+    p.add_argument("--delta", type=_positive_float, default=3.0, help="parent-mass tolerance (Da)")
+    p.add_argument("--tau", type=_positive_int, default=50, help="top hits kept per query")
     p.add_argument("--scorer", default="likelihood", help="scoring model")
 
 
@@ -58,10 +86,67 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    db = generate_database(args.database_size, seed=args.seed)
+    db = (
+        read_fasta(args.database)
+        if args.database
+        else generate_database(args.database_size, seed=args.seed)
+    )
     queries = generate_queries(args.queries, seed=args.query_seed)
     config = _make_config(args)
-    report = run_search(db, queries, args.algorithm, args.ranks, config)
+    if args.algorithm == "multiproc":
+        from repro.engines.multiproc import run_multiprocess_search
+        from repro.faults.injector import FaultInjector, TaskFault
+
+        injector = None
+        if args.fault_plan:
+            from repro.faults.plan import FaultPlan
+
+            plan = FaultPlan.from_file(args.fault_plan)
+            # map simulated rank crashes onto task crashes: a crash of
+            # rank r becomes a single injected crash of task r
+            injector = FaultInjector(
+                tuple(TaskFault(c.rank, "crash", attempts=1) for c in plan.crashes)
+            )
+        report = run_multiprocess_search(
+            db,
+            queries,
+            num_workers=args.ranks,
+            config=config,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            fault_injector=injector,
+        )
+        if report.extras.get("degraded"):
+            print(
+                f"warning: {len(report.extras['failed_tasks'])} task(s) quarantined "
+                f"after retries; results are partial",
+                file=sys.stderr,
+            )
+        if report.extras.get("tasks_resumed"):
+            print(
+                f"resumed {report.extras['tasks_resumed']} completed task(s) from "
+                f"{args.checkpoint}"
+            )
+    else:
+        cluster_config = None
+        if args.fault_plan:
+            from repro.faults.plan import FaultPlan
+            from repro.simmpi.scheduler import ClusterConfig
+
+            cluster_config = ClusterConfig(
+                num_ranks=args.ranks, fault_plan=FaultPlan.from_file(args.fault_plan)
+            )
+        report = run_search(
+            db, queries, args.algorithm, args.ranks, config, cluster_config=cluster_config
+        )
+        if report.extras.get("failed_ranks"):
+            print(
+                f"survived rank failure(s) {report.extras['failed_ranks']}: "
+                f"{report.extras['recovery_fetches']} recovery fetches, "
+                f"{report.extras['recovery_time']:.3f}s recovery time"
+            )
     if args.output:
         from repro.core.results import write_tsv
 
@@ -246,17 +331,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gen = sub.add_parser("generate", help="write a synthetic protein database as FASTA")
     p_gen.add_argument("output", help="output FASTA path")
-    p_gen.add_argument("--database-size", "-n", type=int, default=2000)
+    p_gen.add_argument("--database-size", "-n", type=_positive_int, default=2000)
     p_gen.add_argument("--seed", type=int, default=202)
     p_gen.add_argument("--dataset", choices=["human", "microbial"], default=None)
     p_gen.set_defaults(func=cmd_generate)
 
     p_search = sub.add_parser("search", help="run one search and print top hits")
     _add_search_args(p_search)
-    p_search.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="algorithm_a")
-    p_search.add_argument("--ranks", "-p", type=int, default=4)
+    p_search.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHMS) + ["multiproc"], default="algorithm_a"
+    )
+    p_search.add_argument("--ranks", "-p", type=_positive_int, default=4)
     p_search.add_argument("--show", type=int, default=5, help="queries to print")
     p_search.add_argument("--output", "-o", default=None, help="write hits as TSV")
+    p_search.add_argument(
+        "--database", type=_existing_file, default=None,
+        help="search a FASTA file instead of a synthetic database",
+    )
+    p_search.add_argument(
+        "--fault-plan", type=_existing_file, default=None,
+        help="JSON fault plan injected into the run (see docs/fault_tolerance.md)",
+    )
+    p_search.add_argument(
+        "--checkpoint", default=None,
+        help="multiproc: persist completed-task state to this path",
+    )
+    p_search.add_argument(
+        "--resume", action="store_true",
+        help="multiproc: resume from --checkpoint, skipping completed tasks",
+    )
+    p_search.add_argument(
+        "--max-retries", type=int, default=2,
+        help="multiproc: retries per failing task before quarantine",
+    )
+    p_search.add_argument(
+        "--task-timeout", type=_positive_float, default=None,
+        help="multiproc: seconds before a hung task is resubmitted",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_scaling = sub.add_parser("scaling", help="regenerate a run-time/speedup grid")
@@ -268,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate", help="check parallel output equals serial output")
     _add_search_args(p_val)
-    p_val.add_argument("--ranks", "-p", type=int, default=4)
+    p_val.add_argument("--ranks", "-p", type=_positive_int, default=4)
     p_val.set_defaults(func=cmd_validate)
 
     p_cal = sub.add_parser("calibrate", help="measure this host's scoring cost")
@@ -282,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_adv = sub.add_parser("advise", help="recommend an engine for a workload")
     p_adv.add_argument("--sequences", type=int, required=True, help="database sequence count")
     p_adv.add_argument("--residues", type=int, default=-1, help="total residues (default: 314.44/seq)")
-    p_adv.add_argument("--ranks", "-p", type=int, default=8)
+    p_adv.add_argument("--ranks", "-p", type=_positive_int, default=8)
     p_adv.add_argument("--ram", type=int, default=1 << 30, help="bytes of RAM per rank")
     p_adv.set_defaults(func=cmd_advise)
 
@@ -293,13 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="algorithm_a,algorithm_b,master_worker,xbang",
         help="comma-separated engine names",
     )
-    p_cmp.add_argument("--ranks", "-p", type=int, default=4)
+    p_cmp.add_argument("--ranks", "-p", type=_positive_int, default=4)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_tl = sub.add_parser("timeline", help="render a per-rank gantt of one run")
     _add_search_args(p_tl)
     p_tl.add_argument("--algorithm", "-a", choices=sorted(ALGORITHMS), default="algorithm_a")
-    p_tl.add_argument("--ranks", "-p", type=int, default=4)
+    p_tl.add_argument("--ranks", "-p", type=_positive_int, default=4)
     p_tl.add_argument("--width", type=int, default=80)
     p_tl.set_defaults(func=cmd_timeline)
 
@@ -308,7 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # typed library failures (bad FASTA, bad fault plan, checkpoint
+        # mismatch, ...) become a clean one-line message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -22,6 +22,15 @@ space bound, which the simulated RAM cap enforces for real.
 of the algorithm that does not mask communication with computation"): the
 rank waits for each transfer *before* scoring, so every byte of wire time
 turns into residual communication.
+
+Fault tolerance (``ClusterConfig.fault_plan``): when a peer dies
+mid-rotation, a survivor's prefetch raises
+:class:`~repro.errors.RankFailedError`; it then re-fetches the lost
+shard from the ring successor that still holds a copy (charged as
+``recovery`` time) and the rotation continues.  After the rotation, the
+commit protocol in :mod:`repro.core.recovery` reassigns dead ranks'
+query blocks to survivors, which rescan them against the whole database
+so the merged output is identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -31,8 +40,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.chem.protein import ProteinDatabase
 from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
+from repro.core.recovery import run_recovery_rounds
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
+from repro.errors import RankFailedError
 from repro.scoring.hits import TopHitList
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -46,13 +57,14 @@ _WINDOW = "Di"
 def _rank_program(
     comm: SimComm,
     searchers: Sequence[ShardSearcher],
-    my_queries: List[Spectrum],
+    query_blocks: Sequence[List[Spectrum]],
     config: SearchConfig,
     mask: bool,
 ):
     """The per-rank generator executed by the simulated cluster."""
     p, i = comm.size, comm.rank
     cost = config.cost
+    my_queries = query_blocks[i]
     my_searcher = searchers[i]
     shard_mem = cost.shard_bytes(my_searcher.shard)
 
@@ -73,11 +85,18 @@ def _rank_program(
     comm.alloc("Dcomp", cost.shard_bytes(current.shard))
     for s in range(p):
         request = None
+        lost_target = None
         if s + 1 < p:
             target = (i + s + 1) % p
-            request = comm.iget(target, _WINDOW)
+            try:
+                request = comm.iget(target, _WINDOW)
+            except RankFailedError:
+                # the next shard's owner died: nothing to prefetch; after
+                # this step's scoring, re-fetch the shard from the ring
+                # successor that still holds a copy (charged as recovery).
+                lost_target = target
             comm.alloc("Drecv", cost.shard_bytes(searchers[target].shard))
-            if not mask:
+            if not mask and request is not None:
                 # ablation: synchronous fetch — no overlap with compute
                 comm.wait(request)
         stats = current.search(my_queries, hitlists)  # real work
@@ -92,6 +111,14 @@ def _rank_program(
         if request is not None:
             current = comm.wait(request)
             comm.alloc("Dcomp", cost.shard_bytes(current.shard))
+        elif lost_target is not None:
+            comm.recovery_fetch(
+                lost_target,
+                searchers[lost_target].shard.nbytes,
+                detail=f"salvage D{lost_target}",
+            )
+            current = searchers[lost_target]
+            comm.alloc("Dcomp", cost.shard_bytes(current.shard))
         if software_rma:
             # ethernet one-sided progress: the step's transfers complete
             # only once every target engages the MPI library, so each
@@ -104,6 +131,51 @@ def _rank_program(
     # A3: report the running top-tau lists.
     reported = sum(min(len(h), config.tau) for h in hitlists.values())
     comm.compute(cost.report_time(reported), detail="A3 report")
+
+    # A4 (fault-tolerant runs only): commit rendezvous + adoption of dead
+    # ranks' query blocks, repeated until the failure set is stable.
+    if comm.fault_tolerant and p > 1:
+
+        def adopt(failed: int, snapshot) -> None:
+            nonlocal candidates
+            block = query_blocks[failed]
+            if not block:
+                return
+            block_bytes = sum(q.nbytes for q in block)
+            comm.alloc("Qadopt", block_bytes)
+            comm.recovery_compute(
+                cost.load_time(block_bytes, len(block)), detail=f"reload Q{failed}"
+            )
+            # conservatively rescan the orphaned block against the whole
+            # database: survivors cannot know how far the dead rank got.
+            for j in range(p):
+                if j != i:
+                    comm.alloc("Drecv", cost.shard_bytes(searchers[j].shard))
+                    comm.recovery_fetch(
+                        j, searchers[j].shard.nbytes, detail=f"refetch D{j} for Q{failed}"
+                    )
+                stats = searchers[j].search(block, hitlists)
+                comm.recovery_compute(
+                    cost.iteration_overhead
+                    + cost.scan_time(searchers[j].shard.nbytes)
+                    + cost.evaluation_time(stats.candidates_evaluated, searchers[j].scorer)
+                    + cost.query_overhead * len(block),
+                    detail=f"rescore Q{failed} x D{j}",
+                )
+                candidates += stats.candidates_evaluated
+            adopted_reported = sum(
+                min(len(hitlists[q.query_id]), config.tau)
+                for q in block
+                if q.query_id in hitlists
+            )
+            comm.recovery_compute(
+                cost.report_time(adopted_reported), detail=f"report Q{failed}"
+            )
+            comm.free("Drecv")
+            comm.free("Qadopt")
+
+        yield from run_recovery_rounds(comm, adopt)
+
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
     return hits, candidates
 
@@ -128,11 +200,22 @@ def run_algorithm_a(
     query_blocks = partition_queries(queries, num_ranks)
 
     cluster = SimCluster(cluster_config)
-    args = {r: (searchers, query_blocks[r], config, mask) for r in range(num_ranks)}
+    args = {r: (searchers, query_blocks, config, mask) for r in range(num_ranks)}
     outcomes, summary = cluster.run(_rank_program, args)
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
     candidates = sum(o.value[1] for o in outcomes)
+    extras = {
+        "residual_to_compute": summary.mean_residual_to_compute,
+        "masking_effectiveness": summary.masking_effectiveness,
+    }
+    if cluster_config.fault_plan is not None:
+        extras.update(
+            failed_ranks=list(summary.failed_ranks),
+            recovery_time=summary.total_recovery,
+            transfer_retries=summary.transfer_retries,
+            recovery_fetches=summary.recovery_fetches,
+        )
     return SearchReport(
         algorithm="algorithm_a" if mask else "algorithm_a_nomask",
         num_ranks=num_ranks,
@@ -141,8 +224,5 @@ def run_algorithm_a(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={
-            "residual_to_compute": summary.mean_residual_to_compute,
-            "masking_effectiveness": summary.masking_effectiveness,
-        },
+        extras=extras,
     )

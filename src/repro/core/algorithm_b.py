@@ -16,6 +16,14 @@ The trade-off the paper measures (Table IV): when queries are complex
 (human spectra — candidates from nearly the whole mass range), the
 sender group degenerates to almost all ranks and B pays the sorting
 overhead for nothing; the overhead grows with p until B loses to A.
+
+Fault tolerance: crashes materializing *after* the sort phase are
+survived exactly as in Algorithm A (mid-rotation shard salvage plus the
+commit protocol in :mod:`repro.core.recovery`; adopters rescan orphaned
+query blocks against every sorted shard, unpruned).  Crashes *during*
+the sort's alltoallv redistribution are outside the supported fault
+window and abort loudly — redistributed sequences have no surviving
+replica to recover from.
 """
 
 from __future__ import annotations
@@ -27,9 +35,11 @@ import numpy as np
 from repro.chem.protein import ProteinDatabase
 from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
+from repro.core.recovery import run_recovery_rounds
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
 from repro.core.sort import parallel_counting_sort
+from repro.errors import RankFailedError
 from repro.scoring.hits import TopHitList
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -42,13 +52,14 @@ _WINDOW = "Dsi"
 def _rank_program(
     comm: SimComm,
     shards: Sequence[ProteinDatabase],
-    my_queries: List[Spectrum],
+    query_blocks: Sequence[List[Spectrum]],
     config: SearchConfig,
     mask: bool,
     library: Optional[SpectralLibrary],
 ):
     p, i = comm.size, comm.rank
     cost = config.cost
+    my_queries = query_blocks[i]
     shard = shards[i]
 
     # B1: parallel load, as in Algorithm A.
@@ -99,9 +110,16 @@ def _rank_program(
         else:
             # i is not in its own sender group: fetch the first shard
             # synchronously (nothing to mask behind yet).
-            first = comm.iget(rotation[0], _WINDOW)
             comm.alloc("Drecv", int(sorted_bytes[rotation[0]]))
-            current = comm.wait(first)
+            try:
+                first = comm.iget(rotation[0], _WINDOW)
+            except RankFailedError:
+                current = comm.salvage_window(rotation[0], _WINDOW)
+                comm.recovery_fetch(
+                    rotation[0], current.shard.nbytes, detail=f"salvage D{rotation[0]}"
+                )
+            else:
+                current = comm.wait(first)
         comm.alloc("Dcomp", cost.shard_bytes(current.shard))
     software_rma = comm.network.software_rma and p > 1
     # Sender groups differ per rank; under software RMA every rank must
@@ -116,11 +134,17 @@ def _rank_program(
             target = rotation[s]
             assert current is not None
             request = None
+            lost_target = None
             if s + 1 < len(rotation):
                 nxt = rotation[s + 1]
-                request = comm.iget(nxt, _WINDOW)
+                try:
+                    request = comm.iget(nxt, _WINDOW)
+                except RankFailedError:
+                    # next shard's owner died: salvage after this step's
+                    # scoring from the surviving holder (see algorithm_a)
+                    lost_target = nxt
                 comm.alloc("Drecv", int(sorted_bytes[nxt]))
-                if not mask:
+                if not mask and request is not None:
                     comm.wait(request)
             # binary search: queries this shard can serve (m(q) - delta
             # must not exceed the shard's maximum parent mass)
@@ -140,6 +164,12 @@ def _rank_program(
             if request is not None:
                 current = comm.wait(request)
                 comm.alloc("Dcomp", cost.shard_bytes(current.shard))
+            elif lost_target is not None:
+                current = comm.salvage_window(lost_target, _WINDOW)
+                comm.recovery_fetch(
+                    lost_target, current.shard.nbytes, detail=f"salvage D{lost_target}"
+                )
+                comm.alloc("Dcomp", cost.shard_bytes(current.shard))
         if software_rma:
             # see algorithm_a: software one-sided progress rendezvous
             yield comm.rendezvous_op()
@@ -149,6 +179,53 @@ def _rank_program(
 
     reported = sum(min(len(h), config.tau) for h in hitlists.values())
     comm.compute(cost.report_time(reported), detail="B3 report")
+
+    # B4 (fault-tolerant runs only): commit rendezvous + adoption of dead
+    # ranks' query blocks.  The adopter rescans an orphaned block against
+    # *every* sorted shard, unpruned — survivors cannot know which sender
+    # group the dead rank computed, and extra scans only produce
+    # duplicates the merge collapses.
+    if comm.fault_tolerant and p > 1:
+
+        def adopt(failed: int, snapshot) -> None:
+            nonlocal candidates
+            block = query_blocks[failed]
+            if not block:
+                return
+            block_bytes = sum(q.nbytes for q in block)
+            comm.alloc("Qadopt", block_bytes)
+            comm.recovery_compute(
+                cost.load_time(block_bytes, len(block)), detail=f"reload Q{failed}"
+            )
+            for j in range(p):
+                remote = searcher if j == i else comm.salvage_window(j, _WINDOW)
+                if j != i:
+                    comm.alloc("Drecv", cost.shard_bytes(remote.shard))
+                    comm.recovery_fetch(
+                        j, remote.shard.nbytes, detail=f"refetch D{j} for Q{failed}"
+                    )
+                stats = remote.search(block, hitlists)
+                comm.recovery_compute(
+                    cost.iteration_overhead
+                    + cost.scan_time(remote.shard.nbytes)
+                    + cost.evaluation_time(stats.candidates_evaluated, remote.scorer)
+                    + cost.query_overhead * len(block),
+                    detail=f"rescore Q{failed} x D{j}",
+                )
+                candidates += stats.candidates_evaluated
+            for q in block:
+                hitlists.setdefault(q.query_id, TopHitList(config.tau))
+            adopted_reported = sum(
+                min(len(hitlists[q.query_id]), config.tau) for q in block
+            )
+            comm.recovery_compute(
+                cost.report_time(adopted_reported), detail=f"report Q{failed}"
+            )
+            comm.free("Drecv")
+            comm.free("Qadopt")
+
+        yield from run_recovery_rounds(comm, adopt)
+
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
     return hits, candidates, sorting_time
 
@@ -172,12 +249,24 @@ def run_algorithm_b(
     query_blocks = partition_queries(queries, num_ranks)
 
     cluster = SimCluster(cluster_config)
-    args = {r: (shards, query_blocks[r], config, mask, library) for r in range(num_ranks)}
+    args = {r: (shards, query_blocks, config, mask, library) for r in range(num_ranks)}
     outcomes, summary = cluster.run(_rank_program, args)
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
     candidates = sum(o.value[1] for o in outcomes)
     sorting_time = max(o.value[2] for o in outcomes)
+    extras = {
+        "sorting_time": sorting_time,
+        "residual_to_compute": summary.mean_residual_to_compute,
+        "masking_effectiveness": summary.masking_effectiveness,
+    }
+    if cluster_config.fault_plan is not None:
+        extras.update(
+            failed_ranks=list(summary.failed_ranks),
+            recovery_time=summary.total_recovery,
+            transfer_retries=summary.transfer_retries,
+            recovery_fetches=summary.recovery_fetches,
+        )
     return SearchReport(
         algorithm="algorithm_b",
         num_ranks=num_ranks,
@@ -186,9 +275,5 @@ def run_algorithm_b(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={
-            "sorting_time": sorting_time,
-            "residual_to_compute": summary.mean_residual_to_compute,
-            "masking_effectiveness": summary.masking_effectiveness,
-        },
+        extras=extras,
     )

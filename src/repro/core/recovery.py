@@ -1,0 +1,78 @@
+"""Post-rotation commit/recovery protocol shared by Algorithms A and B.
+
+When a rank fails, two things are lost: its resident shard (survivors
+recover it mid-rotation by re-fetching from the ring successor that
+holds the most recent copy) and its *query block results*, which only
+materialize when the rank returns.  The commit protocol below makes the
+run whole again:
+
+1. Every surviving rank rendezvouses.  The scheduler stamps each
+   released rank with the same ordered failure snapshot
+   (``SimComm.sync_failures``), so all survivors agree on who is dead —
+   the simulated analogue of ULFM's agreement step.
+2. Responsibility for a dead rank's query block is a pure function of
+   the snapshot: the first *surviving* rank after it in ring order
+   (:func:`responsible_rank`).  The adopter reloads the block from
+   input storage and rescans it against the whole database,
+   conservatively, because survivors cannot know how far the dead rank
+   got.  Duplicate scoring is harmless: scores are deterministic and
+   the merge de-duplicates candidates.
+3. Rounds repeat until the snapshot is stable across two consecutive
+   rendezvous.  An adopter that itself dies mid-recovery shows up in
+   the next snapshot, responsibility recomputes to the next survivor,
+   and the block is rescanned by someone who is still alive.  Because
+   every rank loops on the identical snapshot sequence, all survivors
+   execute the same number of rendezvous — collective instance counts
+   never diverge.
+
+The protocol guarantees the merged top-tau output of a crashed run is
+*identical* to the fault-free run: every (shard, query-block) cell is
+scored by at least one surviving rank, and extra scorings collapse in
+the deterministic merge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import RankFailedError
+from repro.simmpi.comm import SimComm
+
+
+def responsible_rank(failed: int, failures: Sequence[int], num_ranks: int) -> int:
+    """The survivor that adopts ``failed``'s query block.
+
+    Deterministic given the failure snapshot: the first rank after
+    ``failed`` in ring order that is not itself in ``failures``.
+    """
+    dead = set(failures)
+    for step in range(1, num_ranks + 1):
+        candidate = (failed + step) % num_ranks
+        if candidate not in dead:
+            return candidate
+    raise RankFailedError(failed, "no surviving rank left to adopt work")
+
+
+def run_recovery_rounds(comm: SimComm, adopt: Callable[[int, Sequence[int]], None]):
+    """Drive commit rendezvous rounds until the failure set is stable.
+
+    A generator meant to be driven with ``yield from`` inside a rank
+    program, after its main rotation loop.  ``adopt(failed_rank,
+    snapshot)`` is invoked exactly once per dead rank this rank is
+    responsible for (per the *current* snapshot); it should reload the
+    orphaned query block and rescan it, charging recovery time.
+    """
+    previous = None
+    adopted: set = set()
+    while True:
+        yield comm.rendezvous_op()
+        snapshot = comm.sync_failures
+        if previous is not None and snapshot == previous:
+            return
+        previous = snapshot
+        for failed in snapshot:
+            if failed in adopted:
+                continue
+            if responsible_rank(failed, snapshot, comm.size) == comm.rank:
+                adopt(failed, snapshot)
+                adopted.add(failed)

@@ -84,6 +84,13 @@ class _GroupComm:
     def clock(self) -> float:
         return self._comm.clock
 
+    @property
+    def fault_tolerant(self) -> bool:
+        """Sub-group runs do not implement the recovery protocol (fault
+        plans target the flat algorithms), so the wrapped Algorithm A
+        program must skip its adoption phase."""
+        return False
+
     # -- rank-translated operations --------------------------------------
     def iget(self, target: int, window: str):
         return self._comm.iget(self._base + target, window)
@@ -124,14 +131,15 @@ def run_subgroups(
     # Queries split ACROSS groups, then across ranks within the group.
     group_queries = partition_queries(queries, num_groups)
     args: Dict[int, tuple] = {}
-    for r in range(num_ranks):
-        group = r // group_size
-        local = partition_queries(group_queries[group], group_size)[r % group_size]
-        args[r] = (searchers, local, config, group, group_size)
+    for group in range(num_groups):
+        # group-local query blocks, indexed by group-relative rank
+        blocks = partition_queries(group_queries[group], group_size)
+        for k in range(group_size):
+            args[group * group_size + k] = (searchers, blocks, config, group, group_size)
 
-    def program(comm: SimComm, searchers_, my_queries, cfg, group, gsize):
+    def program(comm: SimComm, searchers_, query_blocks, cfg, group, gsize):
         gcomm = _GroupComm(comm, gsize, group)
-        return (yield from _algorithm_a_program(gcomm, searchers_, my_queries, cfg, True))
+        return (yield from _algorithm_a_program(gcomm, searchers_, query_blocks, cfg, True))
 
     cluster = SimCluster(cluster_config)
     outcomes, summary = cluster.run(program, args)

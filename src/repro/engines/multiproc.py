@@ -12,6 +12,19 @@ which holds the inputs.
 Work is shipped as raw arrays and rebuilt in the worker (as a real MPI
 code would receive buffers), so this also exercises the
 serialize/transport/rebuild path for real.
+
+Supervision: tasks are dispatched with ``apply_async`` under a
+supervisor loop rather than ``pool.map``.  A task that raises (or, with
+``task_timeout`` set, hangs past its deadline) is resubmitted with
+exponential backoff up to ``RetryPolicy.max_retries`` times; a task
+that keeps failing is *quarantined* — the run completes with the
+surviving results plus a ``failed_tasks`` manifest in the report
+(graceful degradation) instead of aborting.  Because every task is an
+independent (shard, query-block) cell and merging is deterministic, a
+retried task reproduces exactly what the first attempt would have
+produced.  ``checkpoint_path`` persists merged top-tau state after
+completed tasks so a killed run can be resumed (``resume=True``)
+without rescoring finished work.
 """
 
 from __future__ import annotations
@@ -19,7 +32,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,11 +41,17 @@ from repro.core.config import SearchConfig
 from repro.core.partition import partition_database
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher, ShardStats
+from repro.faults.checkpoint import CheckpointManager
+from repro.faults.injector import FaultInjector
+from repro.faults.supervisor import RetryPolicy
 from repro.scoring.hits import Hit, TopHitList
 from repro.spectra.spectrum import Spectrum
 
 _SpectrumWire = Tuple[np.ndarray, np.ndarray, float, int, int]
 _ShardWire = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: supervisor poll interval (seconds) — bounds timeout detection lag
+_POLL_S = 0.005
 
 
 def _pack_spectrum(s: Spectrum) -> _SpectrumWire:
@@ -45,17 +64,107 @@ def _unpack_spectrum(wire: _SpectrumWire) -> Spectrum:
 
 
 def _worker(
-    task: Tuple[_ShardWire, List[_SpectrumWire], SearchConfig]
-) -> Tuple[Dict[int, List[Hit]], ShardStats]:
+    task: Tuple[int, int, _ShardWire, List[_SpectrumWire], SearchConfig, Optional[FaultInjector]]
+) -> Tuple[int, Dict[int, List[Hit]], ShardStats]:
     """Search one (shard, query block) pair; runs in a worker process."""
-    shard_wire, query_wires, config = task
+    task_id, attempt, shard_wire, query_wires, config, injector = task
+    if injector is not None:
+        injector.fire(task_id, attempt)
     shard = ProteinDatabase.from_buffers(*shard_wire)
     queries = [_unpack_spectrum(w) for w in query_wires]
     searcher = ShardSearcher(shard, config)
     hitlists: Dict[int, TopHitList] = {}
     stats = searcher.search(queries, hitlists)
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
-    return hits, stats
+    return task_id, hits, stats
+
+
+class _Supervisor:
+    """Drives tasks through a pool with retries, backoff and timeouts."""
+
+    def __init__(
+        self,
+        pool: Optional[Any],
+        tasks: Dict[int, tuple],
+        policy: RetryPolicy,
+        task_timeout: Optional[float],
+        injector: Optional[FaultInjector],
+    ):
+        self._pool = pool
+        self._tasks = tasks
+        self._policy = policy
+        self._timeout = task_timeout
+        self._injector = injector
+        self._attempts: Dict[int, int] = {t: 0 for t in tasks}  # failed attempts so far
+        self.retries = 0
+        self.timeouts = 0
+        self.failed_tasks: List[Dict[str, Any]] = []
+        self.results: Dict[int, Tuple[Dict[int, List[Hit]], ShardStats]] = {}
+
+    def _payload(self, task_id: int) -> tuple:
+        shard_wire, query_wires, config = self._tasks[task_id]
+        attempt = self._attempts[task_id]  # 0-based: prior failed tries
+        return (task_id, attempt, shard_wire, query_wires, config, self._injector)
+
+    def _record_failure(self, task_id: int, error: str, backlog: List[Tuple[float, int]]) -> None:
+        self._attempts[task_id] += 1
+        failed = self._attempts[task_id]
+        if self._policy.allows_retry(failed):
+            self.retries += 1
+            backlog.append((time.monotonic() + self._policy.delay(failed), task_id))
+        else:
+            self.failed_tasks.append(
+                {"task_id": task_id, "attempts": failed, "error": error}
+            )
+
+    def run_inline(self) -> None:
+        """Single-process path: retries and quarantine, but no timeout
+        enforcement (a hung task would hang the caller too)."""
+        backlog: List[Tuple[float, int]] = [(0.0, t) for t in sorted(self._tasks)]
+        while backlog:
+            ready_at, task_id = backlog.pop(0)
+            delay = ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                tid, hits, stats = _worker(self._payload(task_id))
+            except Exception as exc:
+                self._record_failure(task_id, repr(exc), backlog)
+            else:
+                self.results[tid] = (hits, stats)
+
+    def run_pooled(self) -> None:
+        backlog: List[Tuple[float, int]] = [(0.0, t) for t in sorted(self._tasks)]
+        in_flight: Dict[int, Tuple[Any, float]] = {}  # task_id -> (async, deadline)
+        while backlog or in_flight:
+            now = time.monotonic()
+            for ready_at, task_id in list(backlog):
+                if ready_at <= now and task_id not in in_flight:
+                    backlog.remove((ready_at, task_id))
+                    handle = self._pool.apply_async(_worker, (self._payload(task_id),))
+                    deadline = now + self._timeout if self._timeout else float("inf")
+                    in_flight[task_id] = (handle, deadline)
+            now = time.monotonic()
+            for task_id, (handle, deadline) in list(in_flight.items()):
+                if handle.ready():
+                    del in_flight[task_id]
+                    try:
+                        tid, hits, stats = handle.get()
+                    except Exception as exc:
+                        self._record_failure(task_id, repr(exc), backlog)
+                    else:
+                        self.results[tid] = (hits, stats)
+                elif now > deadline:
+                    # the worker is hung; abandon the handle (the pool
+                    # process is reclaimed at pool teardown) and treat it
+                    # as a failed attempt.
+                    del in_flight[task_id]
+                    self.timeouts += 1
+                    self._record_failure(
+                        task_id, f"timeout after {self._timeout}s", backlog
+                    )
+            if backlog or in_flight:
+                time.sleep(_POLL_S)
 
 
 def run_multiprocess_search(
@@ -64,6 +173,14 @@ def run_multiprocess_search(
     num_workers: Optional[int] = None,
     config: Optional[SearchConfig] = None,
     shards_per_worker: int = 1,
+    *,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 1,
+    resume: bool = False,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> SearchReport:
     """Search with real OS processes; returns wall-clock in virtual_time.
 
@@ -72,44 +189,108 @@ def run_multiprocess_search(
     (candidate sets over shards partition the database's candidate set,
     so merging per-shard top-tau lists reproduces the serial output
     exactly — the same argument Algorithms A/B rest on).
+
+    Supervision knobs (see module docstring): ``max_retries`` /
+    ``retry_policy`` bound resubmissions of failing tasks,
+    ``task_timeout`` (seconds) detects hung workers, ``checkpoint_path``
+    + ``resume`` persist and reuse completed-task state, and
+    ``fault_injector`` deterministically injects failures for tests.
     """
     config = config or SearchConfig()
     if num_workers is None:
         num_workers = max(1, (os.cpu_count() or 2) - 1)
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    policy = retry_policy or RetryPolicy(max_retries=max_retries)
     nshards = num_workers * max(1, shards_per_worker)
     shards = [s for s in partition_database(database, nshards) if len(s) > 0]
     query_wires = [_pack_spectrum(q) for q in queries]
-    tasks = [(shard.to_buffers(), query_wires, config) for shard in shards]
+    tasks = {
+        task_id: (shard.to_buffers(), query_wires, config)
+        for task_id, shard in enumerate(shards)
+    }
+
+    manager: Optional[CheckpointManager] = None
+    tasks_resumed = 0
+    if checkpoint_path is not None:
+        fingerprint = {
+            "num_shards": len(shards),
+            "num_queries": len(queries),
+            "tau": config.tau,
+            "delta": config.delta,
+            "scorer": config.scorer,
+        }
+        if resume and os.path.exists(checkpoint_path):
+            manager = CheckpointManager.resume(
+                checkpoint_path, fingerprint, config.tau, checkpoint_interval
+            )
+            tasks_resumed = len(manager.completed_tasks)
+            for done in manager.completed_tasks:
+                tasks.pop(done, None)
+        else:
+            manager = CheckpointManager(
+                checkpoint_path, fingerprint, config.tau, checkpoint_interval
+            )
 
     start = time.perf_counter()
     if num_workers == 1:
-        results = [_worker(t) for t in tasks]
+        supervisor = _Supervisor(None, tasks, policy, task_timeout, fault_injector)
+        supervisor.run_inline()
     else:
         ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
         with ctx.Pool(processes=num_workers) as pool:
-            results = pool.map(_worker, tasks)
+            supervisor = _Supervisor(pool, tasks, policy, task_timeout, fault_injector)
+            supervisor.run_pooled()
     wall = time.perf_counter() - start
 
-    hits = merge_rank_hits([r[0] for r in results], config.tau)
+    stats = ShardStats()
+    for task_id in sorted(supervisor.results):
+        task_hits, worker_stats = supervisor.results[task_id]
+        stats.merge(worker_stats)
+        if manager is not None:
+            manager.record(
+                task_id,
+                task_hits,
+                {
+                    "candidates_evaluated": worker_stats.candidates_evaluated,
+                    "batches": worker_stats.batches,
+                    "rows_scored": worker_stats.rows_scored,
+                },
+            )
+    if manager is not None:
+        manager.flush()
+        hits = manager.merged_hits()
+        candidates = manager.counters.get("candidates_evaluated", 0)
+        batches = manager.counters.get("batches", 0)
+        rows_scored = manager.counters.get("rows_scored", 0)
+    else:
+        hits = merge_rank_hits(
+            [supervisor.results[t][0] for t in sorted(supervisor.results)], config.tau
+        )
+        candidates = stats.candidates_evaluated
+        batches = stats.batches
+        rows_scored = stats.rows_scored
     # make empty hit lists visible for queries with no candidates anywhere
     for q in queries:
         hits.setdefault(q.query_id, [])
-    stats = ShardStats()
-    for _hits, worker_stats in results:
-        stats.merge(worker_stats)
     return SearchReport(
         algorithm="multiprocess",
         num_ranks=num_workers,
         hits=hits,
-        candidates_evaluated=stats.candidates_evaluated,
+        candidates_evaluated=candidates,
         virtual_time=wall,
         extras={
             "num_shards": len(shards),
             "wall_time": wall,
-            "batches": stats.batches,
-            "rows_scored": stats.rows_scored,
-            "candidates_per_second": stats.candidates_evaluated / wall if wall > 0 else 0.0,
+            "batches": batches,
+            "rows_scored": rows_scored,
+            "candidates_per_second": candidates / wall if wall > 0 else 0.0,
+            "tasks_total": len(shards),
+            "tasks_completed": len(supervisor.results),
+            "tasks_resumed": tasks_resumed,
+            "retries": supervisor.retries,
+            "timeouts": supervisor.timeouts,
+            "failed_tasks": supervisor.failed_tasks,
+            "degraded": bool(supervisor.failed_tasks),
         },
     )

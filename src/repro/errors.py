@@ -53,3 +53,44 @@ class CommunicationError(ReproError, RuntimeError):
 
 class DeadlockError(ReproError, RuntimeError):
     """The simulated machine made no progress while ranks were still blocked."""
+
+
+class FastaError(ReproError, ValueError):
+    """A FASTA file or byte range is malformed (content before the first
+    header, an invalid chunk range, ...).  Subclasses ValueError so
+    pre-existing callers that caught ValueError keep working."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault plan is inconsistent (negative times, out-of-range ranks,
+    non-physical degradation factors) or could not be parsed."""
+
+
+class RankFailedError(ReproError, RuntimeError):
+    """A simulated rank crashed (fail-stop) and a peer touched it.
+
+    Raised inside surviving rank programs when they issue a one-sided
+    Get against a dead peer's window — the simulated analogue of an MPI
+    implementation reporting ``MPI_ERR_PROC_FAILED`` (ULFM).  Recovery-
+    aware programs catch it and re-fetch the lost shard from a surviving
+    holder; everything else aborts, as stock MPI would.
+    """
+
+    def __init__(self, rank: int, message: str = ""):
+        self.rank = rank
+        super().__init__(message or f"rank {rank} has failed")
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """An injected crash inside a multiprocessing worker task.
+
+    Only ever raised by the opt-in fault injector
+    (:class:`repro.faults.injector.FaultInjector`); the supervised
+    engine treats it like any other task failure: retry with backoff,
+    then quarantine.
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint file is unreadable or belongs to a different run
+    (mismatched shard count, search parameters, or query workload)."""

@@ -1,0 +1,46 @@
+"""Fault model for the search runtime.
+
+At real scale — tera-scale runs in the HiCOPS regime (arXiv:2102.02286)
+— ranks crash, NICs degrade, stragglers dominate and transfers fail
+transiently.  This package makes those scenarios *first-class and
+deterministic* so the runtime changes that survive them can be tested:
+
+* :mod:`repro.faults.plan` — declarative, seeded :class:`FaultPlan`
+  describing rank crashes at virtual time t, straggler slowdowns, NIC
+  bandwidth degradation and transient transfer failures.  Wired into the
+  simulated cluster (:mod:`repro.simmpi`) via
+  ``ClusterConfig(fault_plan=...)``.
+* :mod:`repro.faults.injector` — opt-in fault injection for the real
+  multiprocessing engine (crash / hang a task on its first k attempts).
+* :mod:`repro.faults.supervisor` — the retry/backoff policy the
+  supervised engine applies to failed tasks.
+* :mod:`repro.faults.checkpoint` — checkpoint/resume of merged top-tau
+  state plus completed-task ids, so a killed run resumes without
+  rescoring finished work.
+
+See ``docs/fault_tolerance.md`` for the recovery protocol.
+"""
+
+from repro.faults.checkpoint import CheckpointManager, SearchCheckpoint
+from repro.faults.injector import FaultInjector, TaskFault
+from repro.faults.plan import (
+    FaultPlan,
+    NicDegradation,
+    RankCrash,
+    Straggler,
+    TransientFaults,
+)
+from repro.faults.supervisor import RetryPolicy
+
+__all__ = [
+    "CheckpointManager",
+    "SearchCheckpoint",
+    "FaultInjector",
+    "TaskFault",
+    "FaultPlan",
+    "NicDegradation",
+    "RankCrash",
+    "Straggler",
+    "TransientFaults",
+    "RetryPolicy",
+]

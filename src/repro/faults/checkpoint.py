@@ -1,0 +1,203 @@
+"""Checkpoint/resume for the supervised search engine.
+
+A checkpoint persists exactly what a restarted run needs to avoid
+rescoring finished work:
+
+* the set of completed ``(shard, query-block)`` task ids;
+* the merged per-query top-tau hits those tasks produced (bounded —
+  tau hits per query — so checkpoints stay small regardless of how many
+  candidates were evaluated);
+* cumulative work counters, so resumed reports stay truthful.
+
+Because candidate sets over shards *partition* the database's candidate
+set and :class:`~repro.scoring.hits.TopHitList` is deterministic, merging
+checkpointed hits with freshly-computed hits from the remaining tasks
+reproduces the uninterrupted run's output exactly — the same argument
+that makes the paper's parallel == serial validation hold.
+
+Writes are atomic (temp file + ``os.replace``), so a run killed mid-save
+leaves the previous checkpoint intact.  A fingerprint of the run's shape
+(shard count, query count, search parameters) guards against resuming
+into a different run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.errors import CheckpointError
+from repro.scoring.hits import Hit, TopHitList, hits_from_payload, hits_to_payload
+
+_FORMAT_VERSION = 1
+
+_PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class SearchCheckpoint:
+    """In-memory image of one checkpoint file."""
+
+    fingerprint: Dict[str, object]
+    completed_tasks: Set[int] = field(default_factory=set)
+    hits: Dict[int, List[Hit]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed_tasks": sorted(self.completed_tasks),
+            "counters": dict(self.counters),
+            "hits": hits_to_payload(self.hits),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchCheckpoint":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "fingerprint" not in payload:
+            raise CheckpointError("checkpoint JSON missing 'fingerprint'")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} (expected {_FORMAT_VERSION})"
+            )
+        return cls(
+            fingerprint=dict(payload["fingerprint"]),
+            completed_tasks=set(int(t) for t in payload.get("completed_tasks", [])),
+            hits=hits_from_payload(payload.get("hits", {})),
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+        )
+
+    @classmethod
+    def load(cls, path: _PathLike) -> "SearchCheckpoint":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!s}: {exc}") from exc
+
+
+class CheckpointManager:
+    """Accumulates completed tasks and persists them periodically.
+
+    ``interval`` controls write amplification: the checkpoint file is
+    rewritten after every ``interval`` completed tasks (and on
+    :meth:`flush`).  Hits are folded into per-query
+    :class:`~repro.scoring.hits.TopHitList`s as tasks complete, keeping
+    the retained state bounded at tau hits per query.
+    """
+
+    def __init__(
+        self,
+        path: _PathLike,
+        fingerprint: Dict[str, object],
+        tau: int,
+        interval: int = 1,
+    ):
+        if interval < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1, got {interval}")
+        self.path = path
+        self.fingerprint = fingerprint
+        self.tau = tau
+        self.interval = interval
+        self.completed_tasks: Set[int] = set()
+        self.counters: Dict[str, int] = {}
+        self._merged: Dict[int, TopHitList] = {}
+        self._since_save = 0
+
+    # -- resuming ---------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        path: _PathLike,
+        fingerprint: Dict[str, object],
+        tau: int,
+        interval: int = 1,
+    ) -> "CheckpointManager":
+        """Load ``path`` and seed a manager with its state.
+
+        Raises :class:`CheckpointError` if the file's fingerprint does
+        not match this run (different shard count, parameters, or query
+        workload) — resuming would silently corrupt results otherwise.
+        """
+        state = SearchCheckpoint.load(path)
+        if state.fingerprint != fingerprint:
+            mismatched = {
+                k: (state.fingerprint.get(k), fingerprint.get(k))
+                for k in set(state.fingerprint) | set(fingerprint)
+                if state.fingerprint.get(k) != fingerprint.get(k)
+            }
+            raise CheckpointError(
+                f"checkpoint {path!s} belongs to a different run; "
+                f"mismatched fields (checkpoint, current): {mismatched}"
+            )
+        manager = cls(path, fingerprint, tau, interval)
+        manager.completed_tasks = set(state.completed_tasks)
+        manager.counters = dict(state.counters)
+        for qid, hits in state.hits.items():
+            hl = TopHitList(tau)
+            for h in hits:
+                hl.add(h)
+            hl.evaluated = 0  # merging back is not re-evaluating
+            manager._merged[qid] = hl
+        return manager
+
+    # -- recording --------------------------------------------------------
+
+    def record(
+        self,
+        task_id: int,
+        hits: Dict[int, List[Hit]],
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Fold one completed task's hits in; save if the interval is due."""
+        if task_id in self.completed_tasks:
+            return
+        self.completed_tasks.add(task_id)
+        for qid, hit_list in hits.items():
+            hl = self._merged.get(qid)
+            if hl is None:
+                hl = self._merged[qid] = TopHitList(self.tau)
+            for h in hit_list:
+                hl.add(h)
+        if counters:
+            for key, value in counters.items():
+                self.counters[key] = self.counters.get(key, 0) + int(value)
+        self._since_save += 1
+        if self._since_save >= self.interval:
+            self.flush()
+
+    def merged_hits(self) -> Dict[int, List[Hit]]:
+        """Current merged per-query top-tau hits (deterministic order)."""
+        return {qid: hl.sorted_hits() for qid, hl in self._merged.items()}
+
+    def flush(self) -> None:
+        """Atomically persist the current state."""
+        state = SearchCheckpoint(
+            fingerprint=self.fingerprint,
+            completed_tasks=self.completed_tasks,
+            hits=self.merged_hits(),
+            counters=self.counters,
+        )
+        directory = os.path.dirname(os.fspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".checkpoint-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(state.to_json())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._since_save = 0

@@ -1,0 +1,80 @@
+"""Opt-in fault injection for the real multiprocessing engine.
+
+The supervised engine (:mod:`repro.engines.multiproc`) ships each task
+with an optional :class:`FaultInjector`; inside the worker process the
+injector decides, from ``(task_id, attempt)`` alone, whether the task
+crashes or hangs.  Decisions are pure data — no RNG at call time — so a
+test or a ``--fault-plan`` run is exactly reproducible, and a task that
+fails its first ``attempts`` tries deterministically succeeds afterwards
+(or never does, exercising the quarantine path).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import WorkerCrashError
+
+#: attempts value meaning "fail every attempt" (drives quarantine)
+ALWAYS = -1
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """Fail task ``task_id`` on its first ``attempts`` tries.
+
+    ``kind`` is ``"crash"`` (raise :class:`WorkerCrashError` in the
+    worker) or ``"hang"`` (sleep ``duration`` wall seconds, exercising
+    the supervisor's per-task timeout).  ``attempts == ALWAYS`` fails
+    every retry, which is how poison tasks are modelled.
+    """
+
+    task_id: int
+    kind: str = "crash"
+    attempts: int = 1
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang"):
+            raise ValueError(f"fault kind must be 'crash' or 'hang', got {self.kind!r}")
+        if self.attempts < ALWAYS:
+            raise ValueError(f"attempts must be >= -1, got {self.attempts}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+    def applies(self, attempt: int) -> bool:
+        return self.attempts == ALWAYS or attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic per-task fault decisions, picklable into workers."""
+
+    faults: Tuple[TaskFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def fire(self, task_id: int, attempt: int) -> None:
+        """Called at the top of a worker task; crashes or hangs per plan."""
+        for fault in self.faults:
+            if fault.task_id != task_id or not fault.applies(attempt):
+                continue
+            if fault.kind == "hang":
+                time.sleep(fault.duration)
+            else:
+                raise WorkerCrashError(
+                    f"injected crash: task {task_id} attempt {attempt}"
+                )
+
+    @classmethod
+    def crash_once(cls, *task_ids: int) -> "FaultInjector":
+        """Convenience: each listed task crashes on attempt 0 only."""
+        return cls(tuple(TaskFault(t, "crash", attempts=1) for t in task_ids))
+
+    @classmethod
+    def poison(cls, *task_ids: int) -> "FaultInjector":
+        """Convenience: each listed task crashes on every attempt."""
+        return cls(tuple(TaskFault(t, "crash", attempts=ALWAYS) for t in task_ids))

@@ -1,0 +1,55 @@
+"""Retry/backoff policy for the supervised multiprocessing engine.
+
+Pure policy, no execution: given how many attempts a task has already
+burned, :class:`RetryPolicy` answers "may it run again?" and "after how
+long?".  Exponential backoff with a cap is the standard supervision
+discipline (supervisors in Erlang/OTP, Kubernetes crash loops): transient
+faults get cheap immediate-ish retries, persistent faults back off
+instead of hammering the pool, and after ``max_retries`` the task is
+quarantined — the run degrades gracefully rather than crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    Attributes:
+        max_retries: retries after the first attempt (so a task runs at
+            most ``max_retries + 1`` times before quarantine).
+        backoff_base: delay before the first retry, in wall seconds.
+        backoff_factor: multiplier applied per subsequent retry.
+        backoff_cap: upper bound on any single delay.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ConfigError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_cap < 0:
+            raise ConfigError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+
+    def allows_retry(self, failed_attempts: int) -> bool:
+        """May a task that has failed ``failed_attempts`` times run again?"""
+        return failed_attempts <= self.max_retries
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff before the retry following the n-th failure (n >= 1)."""
+        if failed_attempts < 1:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return min(raw, self.backoff_cap)

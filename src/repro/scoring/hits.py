@@ -178,6 +178,50 @@ class TopHitList:
         self.evaluated = evaluated  # merging is not re-evaluating
 
 
+def hit_to_payload(hit: Hit) -> dict:
+    """JSON-representable form of one hit (query id carried by the caller).
+
+    The flat schema is shared by :meth:`repro.core.results.SearchReport.to_json`
+    and the checkpoint format (docs/fault_tolerance.md), so checkpointed
+    hits round-trip bit-for-bit: floats pass through ``json`` unchanged
+    (``repr``-based, exact for binary64).
+    """
+    return {
+        "score": hit.score,
+        "protein_id": hit.protein_id,
+        "start": hit.start,
+        "stop": hit.stop,
+        "mass": hit.mass,
+        "mod_delta": hit.mod_delta,
+    }
+
+
+def hit_from_payload(query_id: int, payload: dict) -> Hit:
+    """Inverse of :func:`hit_to_payload`."""
+    return Hit(
+        query_id=query_id,
+        score=payload["score"],
+        protein_id=payload["protein_id"],
+        start=payload["start"],
+        stop=payload["stop"],
+        mass=payload["mass"],
+        mod_delta=payload.get("mod_delta", 0.0),
+    )
+
+
+def hits_to_payload(hits: "dict[int, List[Hit]]") -> dict:
+    """Serialize a per-query hit mapping (keys become strings for JSON)."""
+    return {str(qid): [hit_to_payload(h) for h in hs] for qid, hs in hits.items()}
+
+
+def hits_from_payload(payload: dict) -> "dict[int, List[Hit]]":
+    """Inverse of :func:`hits_to_payload`."""
+    return {
+        int(qid): [hit_from_payload(int(qid), h) for h in hs]
+        for qid, hs in payload.items()
+    }
+
+
 def merge_hit_lists(lists: Iterable[Sequence[Hit]], tau: int) -> List[Hit]:
     """Merge per-shard hit lists for one query into the global top tau.
 

@@ -24,9 +24,10 @@ import math
 import numpy as np
 from scipy import stats
 
-from repro.spectra.binning import count_matches
+from repro.candidates.batch import CandidateBatch
+from repro.spectra.binning import count_matches, match_peaks_many
 from repro.spectra.spectrum import Spectrum
-from repro.spectra.theoretical import by_ion_ladder, modified_by_ion_ladder
+from repro.spectra.theoretical import by_ion_ladder, by_ion_ladder_rows, modified_by_ion_ladder
 
 
 class HypergeometricScorer:
@@ -67,3 +68,35 @@ class HypergeometricScorer:
         return self._score_ladder(
             spectrum, modified_by_ion_ladder(candidate, site, delta_mass)
         )
+
+    def score_batch(self, spectrum: Spectrum, batch: CandidateBatch) -> np.ndarray:
+        """Vectorized scoring; bitwise identical to the scalar path.
+
+        Matched-fragment counts are computed for the whole batch at once;
+        the scipy tail probability is then evaluated once per *distinct*
+        (matched, draws) pair — within a length group every candidate
+        shares the same ``draws``, and matched counts repeat heavily, so
+        the expensive ``hypergeom.sf`` call count collapses from
+        O(candidates) to O(distinct counts).
+        """
+        out = np.full(batch.num_rows, -math.inf)
+        if spectrum.num_peaks == 0:
+            return batch.reduce_rows(out)
+        span = max(float(spectrum.mz[-1] - spectrum.mz[0]), self.mz_range)
+        total_bins = max(int(span / (2.0 * self.fragment_tolerance)), 1)
+        occupied = min(spectrum.num_peaks, total_bins)
+        observed = np.ascontiguousarray(spectrum.mz)
+        for group in batch.length_groups():
+            if group.length < 2:
+                continue  # empty ladder, score stays -inf
+            ladders = by_ion_ladder_rows(group.mass_rows())
+            draws = min(ladders.shape[1], total_bins)
+            matched = match_peaks_many(
+                ladders, observed, self.fragment_tolerance
+            ).sum(axis=1)
+            matched = np.minimum(matched, min(draws, occupied))
+            for m in np.unique(matched):
+                tail = stats.hypergeom.sf(int(m) - 1, total_bins, occupied, draws)
+                tail = max(float(tail), 1e-300)
+                out[group.rows[matched == m]] = -math.log10(tail)
+        return batch.reduce_rows(out)

@@ -88,6 +88,10 @@ class SimComm:
         self.memory: MemoryTracker = cluster.memory[rank]
         self.trace: RankTrace = cluster.traces[rank]
         self._collective_counter = 0
+        #: consistent failure snapshot — ordered tuple of crashed ranks,
+        #: stamped by the scheduler at every collective release so all
+        #: survivors of a rendezvous agree on who has failed.
+        self.sync_failures: Tuple[int, ...] = ()
 
     # -- local time ------------------------------------------------------
 
@@ -99,9 +103,50 @@ class SimComm:
         """
         if seconds < 0:
             raise ValueError(f"compute time must be >= 0, got {seconds}")
-        seconds = seconds / self._cluster.config.speed_of(self.rank)
+        seconds = seconds / self._cluster.effective_speed(self.rank, self.clock)
         self.trace.add("compute", self.clock, seconds, detail)
         self.clock += seconds
+
+    # -- fault tolerance ---------------------------------------------------
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when the machine runs under a fault plan; rank programs
+        use this to decide whether to run their recovery protocol."""
+        return self._cluster.config.fault_plan is not None
+
+    def recovery_compute(self, seconds: float, detail: str = "") -> None:
+        """Like :meth:`compute`, but traced as ``recovery`` so fault-free
+        metrics (residual-to-compute, masking) stay untouched."""
+        if seconds < 0:
+            raise ValueError(f"recovery time must be >= 0, got {seconds}")
+        seconds = seconds / self._cluster.effective_speed(self.rank, self.clock)
+        self.trace.add("recovery", self.clock, seconds, detail)
+        self.clock += seconds
+
+    def recovery_fetch(self, owner: int, nbytes: int, detail: str = "") -> None:
+        """Re-fetch a lost shard's bytes from a surviving holder.
+
+        ``owner`` is the rank that *owned* the data; the scheduler
+        charges the wire time from the deterministic surviving holder
+        (see ``SimCluster.charge_recovery_fetch``) and the elapsed time
+        is traced as ``recovery``.
+        """
+        if not 0 <= owner < self.size:
+            raise CommunicationError(f"recovery owner {owner} out of range 0..{self.size - 1}")
+        end = self._cluster.charge_recovery_fetch(self.rank, owner, nbytes, self.clock)
+        if end > self.clock:
+            self.trace.add("recovery", self.clock, end - self.clock, detail or f"refetch D{owner}")
+            self.clock = end
+
+    def salvage_window(self, owner: int, window: str) -> Any:
+        """Read ``owner``'s window payload even if ``owner`` has failed.
+
+        Recovery-only companion to :meth:`recovery_fetch` (which charges
+        the wire time): the payload physically survives on the ring
+        successor that fetched it last.
+        """
+        return self._cluster.salvage_window(owner, window)
 
     # -- memory ------------------------------------------------------------
 

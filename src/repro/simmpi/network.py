@@ -55,6 +55,19 @@ class NetworkModel:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         return self.latency + self.byte_cost * nbytes
 
+    def failed_attempt_time(self, wire_time: float, penalty: float) -> float:
+        """Time one transient transfer failure wastes before the retry.
+
+        A failed attempt burns the wire time already spent (modeled
+        conservatively as the full serialized transfer), one latency for
+        the failure to be detected, and the fault plan's retransmit
+        ``penalty`` (timeout + re-setup).  Used by the scheduler when a
+        :class:`repro.faults.plan.TransientFaults` spec is active.
+        """
+        if wire_time < 0 or penalty < 0:
+            raise ValueError("wire_time and penalty must be >= 0")
+        return wire_time + self.latency + penalty
+
     def barrier_time(self, p: int) -> float:
         """Dissemination barrier: ceil(log2 p) rounds of small messages."""
         if p <= 1:

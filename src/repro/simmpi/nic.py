@@ -49,9 +49,22 @@ class NicTimeline:
 
 
 def reserve_transfer(
-    origin: NicTimeline, target: NicTimeline, issue_time: float, duration: float
+    origin: NicTimeline,
+    target: NicTimeline,
+    issue_time: float,
+    duration: float,
+    stretch: float = 1.0,
 ) -> float:
-    """Pack a transfer into the earliest common gap; returns its start time."""
+    """Pack a transfer into the earliest common gap; returns its start time.
+
+    ``stretch`` scales the occupancy (>= 1.0): a degraded NIC (see
+    :class:`repro.faults.plan.NicDegradation`) delivers a fraction of
+    nominal bandwidth, so the same bytes hold both endpoints' timelines
+    proportionally longer — degradation slows *and* congests.
+    """
+    if stretch < 1.0:
+        raise ValueError(f"stretch must be >= 1.0, got {stretch}")
+    duration = duration * stretch
     if duration <= 0:
         return issue_time
     start = issue_time

@@ -8,6 +8,22 @@ the runnable rank with the smallest virtual clock (ties broken by rank
 id), which both guarantees determinism and keeps message causality
 conservative (a rank never consumes a message that an earlier-in-time
 rank could still have preceded).
+
+Fault model (``ClusterConfig.fault_plan``): the machine can be run
+against a declarative :class:`~repro.faults.plan.FaultPlan` describing
+rank crashes, stragglers, NIC degradation and transient transfer
+failures.  Crashes are *fail-stop at synchronization granularity*: a
+rank whose crash time has passed dies the next time the scheduler would
+advance it, or inside a collective whose release time reaches its crash
+time — so a rank never acts after its planned death, and a rank that
+returned its results before the crash time completed legitimately.
+Surviving ranks observe failures two ways: an immediate typed
+:class:`~repro.errors.RankFailedError` when they touch a dead peer's
+window, and a consistent snapshot (``SimComm.sync_failures``) stamped at
+every collective release, which recovery protocols use to agree on who
+adopts a dead rank's work.  Fault injection is seeded and consumed in
+deterministic scheduler order, so a given plan always produces the same
+run.
 """
 
 from __future__ import annotations
@@ -16,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.constants import PAPER_RAM_PER_RANK_BYTES
-from repro.errors import CommunicationError, DeadlockError
+from repro.errors import CommunicationError, DeadlockError, RankFailedError
+from repro.faults.plan import FaultPlan, TransientFaultState
 from repro.simmpi.comm import (
     ANY_SOURCE,
     CollectiveOp,
@@ -28,7 +45,7 @@ from repro.simmpi.memory import MemoryTracker
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.nic import NicTimeline, reserve_transfer
 from repro.simmpi.request import SimRequest
-from repro.simmpi.trace import RankTrace, TraceSummary
+from repro.simmpi.trace import RankFailure, RankTrace, TraceSummary
 
 RankProgram = Callable[[SimComm], Generator[Any, Any, Any]]
 
@@ -36,6 +53,7 @@ _READY = "ready"
 _BLOCKED_RECV = "blocked_recv"
 _BLOCKED_COLL = "blocked_coll"
 _DONE = "done"
+_FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -50,6 +68,11 @@ class ClusterConfig:
     paper's testbed was homogeneous; heterogeneity is the regime where
     the master-worker baseline's dynamic balancing beats Algorithm A's
     static split (see tests/integration/test_heterogeneous.py).
+
+    ``fault_plan`` injects failures (crashes, stragglers, NIC
+    degradation, transient transfer faults) into the run; ``None`` (the
+    default) is the perfect machine every pre-existing experiment runs
+    on.
     """
 
     num_ranks: int
@@ -57,6 +80,7 @@ class ClusterConfig:
     network: NetworkModel = field(default_factory=NetworkModel)
     record_events: bool = False
     rank_speeds: Optional[Tuple[float, ...]] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
@@ -69,6 +93,8 @@ class ClusterConfig:
                 )
             if any(s <= 0 for s in self.rank_speeds):
                 raise ValueError("rank_speeds must be positive")
+        if self.fault_plan is not None:
+            self.fault_plan.validate_for(self.num_ranks)
 
     def speed_of(self, rank: int) -> float:
         return self.rank_speeds[rank] if self.rank_speeds is not None else 1.0
@@ -117,10 +143,69 @@ class SimCluster:
         self._send_seq = 0
         self._collectives: Dict[int, _PendingCollective] = {}
         self._recv_filter: Dict[int, Tuple[int, int]] = {}
+        # -- fault bookkeeping ------------------------------------------
+        plan = config.fault_plan
+        self._dead: set = set()
+        self.failure_log: List[RankFailure] = []
+        self.transfer_retries = 0
+        self.recovery_fetches = 0
+        self._crash_times: Dict[int, float] = {}
+        self._transient: Optional[TransientFaultState] = None
+        if plan is not None:
+            self._crash_times = {
+                r: t for r in range(p) if (t := plan.crash_time(r)) is not None
+            }
+            if plan.transient is not None and plan.transient.probability > 0:
+                self._transient = TransientFaultState(plan.transient)
+        # populated for the duration of run()
+        self._gens: List[Generator] = []
+        self._state: List[str] = []
+        self._inject: List[Any] = []
 
     # ------------------------------------------------------------------
     # machine services called by SimComm
     # ------------------------------------------------------------------
+
+    def effective_speed(self, rank: int, now: float) -> float:
+        """Compute throughput of ``rank`` at virtual time ``now``."""
+        speed = self.config.speed_of(rank)
+        if self.config.fault_plan is not None:
+            speed *= self.config.fault_plan.speed_factor(rank, now)
+        return speed
+
+    def _transfer_window(
+        self, origin: int, target: int, nbytes: int, now: float
+    ) -> Tuple[float, float, float]:
+        """Reserve a transfer; returns ``(start, end, occupied_wire_time)``.
+
+        Applies the fault plan's NIC degradation (both endpoints; the
+        slower one bounds the transfer) and transient transfer failures
+        (each failed attempt delays completion by a wasted wire pass
+        plus the retransmit penalty).
+        """
+        net = self.config.network
+        wire = net.byte_cost * nbytes
+        stretch = 1.0
+        plan = self.config.fault_plan
+        if plan is not None:
+            factor = min(
+                plan.bandwidth_factor(origin, now), plan.bandwidth_factor(target, now)
+            )
+            if factor < 1.0:
+                stretch = 1.0 / factor
+        start = reserve_transfer(
+            self._nics[origin], self._nics[target], now, wire, stretch
+        )
+        occupied = wire * stretch
+        end = start + occupied + net.latency
+        if self._transient is not None:
+            failures = self._transient.failures_for_next_transfer()
+            if failures:
+                self.transfer_retries += failures
+                end += failures * net.failed_attempt_time(
+                    occupied, self._transient.spec.penalty
+                )
+        return start, end, occupied
 
     def expose_window(self, rank: int, name: str, payload: Any, nbytes: int) -> None:
         key = (rank, name)
@@ -133,26 +218,46 @@ class SimCluster:
             raise CommunicationError(f"rank {rank} window {name!r} not exposed")
 
     def read_window(self, rank: int, name: str) -> Any:
+        if rank in self._dead:
+            raise RankFailedError(rank, f"window {name!r}@{rank}: rank has failed")
         try:
             return self._windows[(rank, name)][0]
         except KeyError:
             raise CommunicationError(f"rank {rank} window {name!r} not exposed") from None
 
+    def salvage_window(self, rank: int, name: str) -> Any:
+        """Read a window payload regardless of owner liveness.
+
+        Recovery-only: models reading the copy of a dead rank's shard
+        that a surviving rank still holds from the rotation.  Callers
+        must charge the transfer separately (``SimComm.recovery_fetch``).
+        """
+        try:
+            return self._windows[(rank, name)][0]
+        except KeyError:
+            raise CommunicationError(
+                f"salvage: rank {rank} window {name!r} was never exposed"
+            ) from None
+
     def issue_get(self, origin: int, target: int, window: str, now: float) -> SimRequest:
+        if target in self._dead:
+            raise RankFailedError(
+                target, f"iget {window!r}@{target}: target rank has failed"
+            )
         try:
             payload, nbytes = self._windows[(target, window)]
         except KeyError:
             raise CommunicationError(
                 f"iget: rank {target} has no exposed window {window!r}"
             ) from None
-        net = self.config.network
         if origin == target:
             # local read: no wire, immediate completion
             return SimRequest(origin, target, window, 0, now, now, payload)
-        wire = net.byte_cost * nbytes
-        start = reserve_transfer(self._nics[origin], self._nics[target], now, wire)
-        end = start + wire + net.latency
-        self.traces[origin].add("comm_issued", start, wire + net.latency, f"get {window}@{target}")
+        start, end, occupied = self._transfer_window(origin, target, nbytes, now)
+        net = self.config.network
+        self.traces[origin].add(
+            "comm_issued", start, occupied + net.latency, f"get {window}@{target}"
+        )
         return SimRequest(origin, target, window, nbytes, now, end, payload)
 
     def post_send(
@@ -162,12 +267,39 @@ class SimCluster:
         if dest == source:
             arrival = now
         else:
-            wire = net.byte_cost * nbytes
-            start = reserve_transfer(self._nics[source], self._nics[dest], now, wire)
-            arrival = start + wire + net.latency
-            self.traces[source].add("comm_issued", start, wire + net.latency, f"send->{dest}")
+            start, arrival, occupied = self._transfer_window(source, dest, nbytes, now)
+            self.traces[source].add(
+                "comm_issued", start, occupied + net.latency, f"send->{dest}"
+            )
         self._send_seq += 1
         self._mailboxes[dest].append(_Message(arrival, self._send_seq, source, tag, payload))
+
+    def charge_recovery_fetch(
+        self, origin: int, source: int, nbytes: int, now: float
+    ) -> float:
+        """Charge re-fetching rank ``source``'s shard from a surviving holder.
+
+        The holder is deterministic: the first alive rank scanning the
+        ring from ``source`` (the owner itself when alive — the normal
+        re-fetch path; after a crash, its ring successor, which under the
+        rotation schedule held the shard most recently).  When the
+        holder *is* the origin, the copy is local and costs nothing.
+        Returns the virtual completion time; the caller traces it.
+        """
+        self.recovery_fetches += 1
+        p = self.config.num_ranks
+        holder = source
+        for k in range(p):
+            candidate = (source + k) % p
+            if candidate not in self._dead:
+                holder = candidate
+                break
+        else:  # pragma: no cover - validate_for keeps one rank alive
+            raise RankFailedError(source, "no surviving holder for recovery fetch")
+        if holder == origin:
+            return now
+        _start, end, _occupied = self._transfer_window(origin, holder, nbytes, now)
+        return end
 
     # ------------------------------------------------------------------
     # the event loop
@@ -180,9 +312,10 @@ class SimCluster:
     ) -> Tuple[List[RankOutcome], TraceSummary]:
         """Run ``program(comm, *args[rank])`` on every rank to completion.
 
-        Returns per-rank outcomes (in rank order) and the trace summary.
-        Any exception raised inside a rank program propagates to the
-        caller (with rank context), mirroring an MPI abort.
+        Returns per-rank outcomes (in rank order, crashed ranks omitted)
+        and the trace summary.  Any exception raised inside a rank
+        program propagates to the caller (with rank context), mirroring
+        an MPI abort.
         """
         p = self.config.num_ranks
         gens: List[Generator] = []
@@ -193,6 +326,7 @@ class SimCluster:
         state = [_READY] * p
         inject: List[Any] = [None] * p  # value to send into the generator
         outcomes: List[Optional[RankOutcome]] = [None] * p
+        self._gens, self._state, self._inject = gens, state, inject
 
         def runnable_candidates() -> List[Tuple[float, int, str]]:
             cands: List[Tuple[float, int, str]] = []
@@ -206,14 +340,20 @@ class SimCluster:
             return cands
 
         while True:
-            if all(s == _DONE for s in state):
+            if all(s in (_DONE, _FAILED) for s in state):
                 break
             cands = runnable_candidates()
             if not cands:
-                blocked = {r: state[r] for r in range(p) if state[r] != _DONE}
+                blocked = {
+                    r: state[r] for r in range(p) if state[r] not in (_DONE, _FAILED)
+                }
                 raise DeadlockError(f"no runnable rank; blocked states: {blocked}")
             _t, rank, action = min(cands)
             comm = self._comms[rank]
+            crash_at = self._crash_times.get(rank)
+            if crash_at is not None and comm.clock >= crash_at:
+                self._kill_rank(rank)
+                continue
             if action == "recv":
                 msg = self._match_message(rank)
                 assert msg is not None
@@ -242,16 +382,49 @@ class SimCluster:
                 state[rank] = _BLOCKED_RECV
             elif isinstance(op, CollectiveOp):
                 state[rank] = _BLOCKED_COLL
-                self._enter_collective(rank, op, state, inject)
+                self._enter_collective(rank, op)
             else:
                 raise CommunicationError(
                     f"rank {rank} yielded {op!r}; only RecvOp/CollectiveOp may be yielded"
                 )
 
+        finished = [o for o in outcomes if o is not None]
+        if not finished:
+            raise RankFailedError(
+                self.failure_log[0].rank if self.failure_log else 0,
+                "no rank survived to completion",
+            )
         summary = TraceSummary.from_traces(
-            self.traces, makespan=max(o.finish_time for o in outcomes if o is not None)
+            self.traces,
+            makespan=max(o.finish_time for o in finished),
+            failures=tuple(self.failure_log),
+            transfer_retries=self.transfer_retries,
+            recovery_fetches=self.recovery_fetches,
         )
-        return [o for o in outcomes if o is not None], summary
+        return finished, summary
+
+    # ------------------------------------------------------------------
+    # failure machinery
+    # ------------------------------------------------------------------
+
+    def _kill_rank(self, rank: int) -> None:
+        """Fail-stop ``rank``: close it, then let any collective it was
+        expected in complete over the survivors."""
+        self._state[rank] = _FAILED
+        self._dead.add(rank)
+        planned = self._crash_times.get(rank, self._comms[rank].clock)
+        self.failure_log.append(RankFailure(rank, planned))
+        try:
+            self._gens[rank].close()
+        except Exception:  # pragma: no cover - generator cleanup is best effort
+            pass
+        self._mailboxes[rank].clear()
+        for instance in list(self._collectives):
+            pending = self._collectives.get(instance)
+            if pending is None:
+                continue
+            pending.arrivals.pop(rank, None)
+            self._try_release_collective(instance)
 
     # ------------------------------------------------------------------
 
@@ -267,9 +440,7 @@ class SimCluster:
                 best = msg
         return best
 
-    def _enter_collective(
-        self, rank: int, op: CollectiveOp, state: List[str], inject: List[Any]
-    ) -> None:
+    def _enter_collective(self, rank: int, op: CollectiveOp) -> None:
         pending = self._collectives.setdefault(op.instance, _PendingCollective(op.kind))
         if pending.kind != op.kind:
             raise CommunicationError(
@@ -279,57 +450,106 @@ class SimCluster:
         if rank in pending.arrivals:
             raise CommunicationError(f"rank {rank} re-entered collective {op.instance}")
         pending.arrivals[rank] = (self._comms[rank].clock, op)
-        p = self.config.num_ranks
-        done_ranks = [r for r in range(p) if state[r] == _DONE]
+        done_ranks = [r for r in range(self.config.num_ranks) if self._state[r] == _DONE]
         if done_ranks:
             raise DeadlockError(
                 f"collective {op.kind!r} cannot complete: ranks {done_ranks} already finished"
             )
-        if len(pending.arrivals) < p:
+        self._try_release_collective(op.instance)
+
+    def _try_release_collective(self, instance: int) -> None:
+        """Release a pending collective once every live rank has arrived.
+
+        Failed ranks are not waited for (the surviving communicator
+        shrinks, as under MPI ULFM shrink semantics).  If the release
+        time reaches a participant's planned crash time, that rank dies
+        *inside* the collective: it is killed, removed from the arrival
+        set, and the release re-evaluated — so no rank ever acts after
+        its crash, and survivors leave the collective already seeing the
+        failure in their ``sync_failures`` snapshot.
+        """
+        pending = self._collectives.get(instance)
+        if pending is None:
             return
-        # all ranks arrived: compute results and release everyone
-        del self._collectives[op.instance]
+        p = self.config.num_ranks
+        expected = [r for r in range(p) if self._state[r] not in (_DONE, _FAILED)]
+        if not expected:
+            del self._collectives[instance]
+            return
+        if any(r not in pending.arrivals for r in expected):
+            return
         net = self.config.network
-        arrival_max = max(t for t, _ in pending.arrivals.values())
-        ops = [pending.arrivals[r][1] for r in range(p)]
-        results: List[Any]
-        if op.kind in ("barrier", "rendezvous"):
-            end = arrival_max + net.barrier_time(p)
-            results = [None] * p
-        elif op.kind == "allreduce":
-            nbytes = max(o.nbytes for o in ops)
-            end = arrival_max + net.allreduce_time(p, nbytes)
-            reduced = reduce_values([o.payload for o in ops], ops[0].op or "sum")
-            results = [reduced] * p
-        elif op.kind == "bcast":
-            root = ops[0].root
-            end = arrival_max + net.bcast_time(p, ops[root].nbytes)
-            results = [ops[root].payload] * p
-        elif op.kind == "gather":
-            root = ops[0].root
-            nbytes = max(o.nbytes for o in ops)
-            end = arrival_max + net.bcast_time(p, nbytes)  # symmetric tree cost
-            gathered = [o.payload for o in ops]
-            results = [gathered if r == root else None for r in range(p)]
-        elif op.kind == "alltoallv":
-            send_totals = [o.nbytes for o in ops]
+        n = len(expected)
+        arrival_max = max(pending.arrivals[r][0] for r in expected)
+        ops = {r: pending.arrivals[r][1] for r in expected}
+        results: Dict[int, Any] = {}
+        if pending.kind in ("barrier", "rendezvous"):
+            end = arrival_max + net.barrier_time(n)
+            results = {r: None for r in expected}
+        elif pending.kind == "allreduce":
+            nbytes = max(o.nbytes for o in ops.values())
+            end = arrival_max + net.allreduce_time(n, nbytes)
+            reduced = reduce_values(
+                [ops[r].payload for r in expected], ops[expected[0]].op or "sum"
+            )
+            results = {r: reduced for r in expected}
+        elif pending.kind == "bcast":
+            root = ops[expected[0]].root
+            if root not in ops:
+                raise DeadlockError(
+                    f"bcast root {root} failed; broadcast cannot complete"
+                )
+            end = arrival_max + net.bcast_time(n, ops[root].nbytes)
+            results = {r: ops[root].payload for r in expected}
+        elif pending.kind == "gather":
+            root = ops[expected[0]].root
+            if root not in ops:
+                raise DeadlockError(
+                    f"gather root {root} failed; gather cannot complete"
+                )
+            nbytes = max(o.nbytes for o in ops.values())
+            end = arrival_max + net.bcast_time(n, nbytes)  # symmetric tree cost
+            gathered = [ops[r].payload for r in expected]
+            results = {r: (gathered if r == root else None) for r in expected}
+        elif pending.kind == "alltoallv":
+            if n != p:
+                raise DeadlockError(
+                    "alltoallv cannot complete after a rank failure; crashes during "
+                    "Algorithm B's sort phase are outside the supported fault window"
+                )
+            send_totals = [ops[src].nbytes for src in range(p)]
             recv_totals = [
                 sum(int(ops[src].payload[dst][1]) for src in range(p)) for dst in range(p)
             ]
             end = arrival_max + net.alltoallv_time(p, max(send_totals), max(recv_totals))
-            results = [[ops[src].payload[dst][0] for src in range(p)] for dst in range(p)]
+            for dst in range(p):
+                results[dst] = [ops[src].payload[dst][0] for src in range(p)]
             for src in range(p):
                 self.traces[src].add(
                     "comm_issued", pending.arrivals[src][0], net.byte_cost * send_totals[src],
                     "alltoallv",
                 )
         else:  # pragma: no cover - kinds are produced only by SimComm
-            raise CommunicationError(f"unknown collective kind {op.kind!r}")
+            raise CommunicationError(f"unknown collective kind {pending.kind!r}")
 
-        category = "wait" if op.kind == "rendezvous" else "collective"
-        for r in range(p):
+        # A participant whose planned crash falls within the collective
+        # window dies inside it; survivors re-form and complete without it.
+        doomed = [
+            r
+            for r in expected
+            if (t := self._crash_times.get(r)) is not None and t <= end
+        ]
+        if doomed:
+            self._kill_rank(min(doomed))  # re-enters _try_release_collective
+            return
+
+        del self._collectives[instance]
+        snapshot = tuple(f.rank for f in self.failure_log)
+        category = "wait" if pending.kind == "rendezvous" else "collective"
+        for r in expected:
             arrive_t = pending.arrivals[r][0]
-            self.traces[r].add(category, arrive_t, end - arrive_t, op.kind)
+            self.traces[r].add(category, arrive_t, end - arrive_t, pending.kind)
             self._comms[r].clock = end
-            inject[r] = results[r]
-            state[r] = _READY
+            self._comms[r].sync_failures = snapshot
+            self._inject[r] = results[r]
+            self._state[r] = _READY

@@ -13,12 +13,25 @@ needed to reproduce that analysis:
   (masked or not), so masking effectiveness = 1 - wait/comm_issued;
 * ``collective`` — time inside barriers/allreduce/alltoallv, kept
   separate because Algorithm B's sorting overhead lives here.
+* ``recovery`` — time spent re-fetching lost shards, reloading orphaned
+  query blocks and rescoring them after a rank failure.  Kept separate
+  from ``compute``/``wait`` so fault-free metrics (residual-to-compute,
+  masking effectiveness) are untouched by recovery work, and so the cost
+  of surviving a fault plan is directly visible in the summary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One fail-stop rank crash, as it materialized during the run."""
+
+    rank: int
+    time: float
 
 
 @dataclass
@@ -30,6 +43,7 @@ class RankTrace:
     wait: float = 0.0
     comm_issued: float = 0.0
     collective: float = 0.0
+    recovery: float = 0.0
     events: List[tuple] = field(default_factory=list, repr=False)
     record_events: bool = False
 
@@ -44,6 +58,8 @@ class RankTrace:
             self.collective += duration
         elif category == "comm_issued":
             self.comm_issued += duration
+        elif category == "recovery":
+            self.recovery += duration
         else:
             raise ValueError(f"unknown trace category {category!r}")
         if self.record_events and duration > 0:
@@ -61,7 +77,15 @@ class RankTrace:
 
 @dataclass(frozen=True)
 class TraceSummary:
-    """Machine-wide aggregates over all rank traces."""
+    """Machine-wide aggregates over all rank traces.
+
+    The fault-tolerance fields default to "nothing went wrong" so
+    fault-free callers and serialized summaries are unchanged:
+    ``failures`` lists crashes in the order they materialized,
+    ``total_recovery`` sums the survivors' recovery-category time, and
+    ``transfer_retries`` counts transient transfer failures charged by
+    the fault plan.
+    """
 
     makespan: float
     total_compute: float
@@ -69,9 +93,20 @@ class TraceSummary:
     total_collective: float
     total_comm_issued: float
     per_rank: Dict[int, RankTrace]
+    total_recovery: float = 0.0
+    failures: Tuple[RankFailure, ...] = ()
+    transfer_retries: int = 0
+    recovery_fetches: int = 0
 
     @classmethod
-    def from_traces(cls, traces: Dict[int, RankTrace], makespan: float) -> "TraceSummary":
+    def from_traces(
+        cls,
+        traces: Dict[int, RankTrace],
+        makespan: float,
+        failures: Tuple[RankFailure, ...] = (),
+        transfer_retries: int = 0,
+        recovery_fetches: int = 0,
+    ) -> "TraceSummary":
         return cls(
             makespan=makespan,
             total_compute=sum(t.compute for t in traces.values()),
@@ -79,7 +114,16 @@ class TraceSummary:
             total_collective=sum(t.collective for t in traces.values()),
             total_comm_issued=sum(t.comm_issued for t in traces.values()),
             per_rank=traces,
+            total_recovery=sum(t.recovery for t in traces.values()),
+            failures=tuple(failures),
+            transfer_retries=transfer_retries,
+            recovery_fetches=recovery_fetches,
         )
+
+    @property
+    def failed_ranks(self) -> Tuple[int, ...]:
+        """Ranks that crashed, in failure order."""
+        return tuple(f.rank for f in self.failures)
 
     @property
     def mean_residual_to_compute(self) -> float:

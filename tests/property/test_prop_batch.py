@@ -20,6 +20,7 @@ from repro.chem.amino_acids import STANDARD_MODIFICATIONS
 from repro.chem.protein import ProteinDatabase
 from repro.constants import AMINO_ACIDS
 from repro.scoring import (
+    HypergeometricScorer,
     HyperScorer,
     LikelihoodRatioScorer,
     SharedPeakScorer,
@@ -40,6 +41,7 @@ _SCORERS = [
     HyperScorer,
     XCorrScorer,
     LikelihoodRatioScorer,
+    HypergeometricScorer,
 ]
 
 #: oxidation (known target M) plus phosphorylation (known target S); the

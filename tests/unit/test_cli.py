@@ -20,6 +20,101 @@ class TestParser:
             build_parser().parse_args(["search", "-a", "nope"])
 
 
+class TestValidation:
+    """Bad arguments die at the argparse boundary, before any work runs."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["search", "-p", "0"],
+            ["search", "-p", "-3"],
+            ["search", "-p", "four"],
+            ["search", "-n", "0"],
+            ["search", "-m", "0"],
+            ["search", "--tau", "0"],
+            ["search", "--delta", "0"],
+            ["search", "--delta", "-1.5"],
+            ["search", "--task-timeout", "0"],
+            ["generate", "out.fasta", "-n", "0"],
+            ["validate", "-p", "0"],
+        ],
+    )
+    def test_out_of_range_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        assert "expected a" in capsys.readouterr().err
+
+    def test_nonexistent_database_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--database", "/no/such/db.fasta"])
+        assert "file not found" in capsys.readouterr().err
+
+    def test_nonexistent_fault_plan_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--fault-plan", "/no/such/plan.json"])
+        assert "file not found" in capsys.readouterr().err
+
+
+class TestTypedErrors:
+    """ReproError failures exit 2 with a one-line message, no traceback."""
+
+    def test_malformed_fasta_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fasta"
+        bad.write_text("PEPTIDE\n>late\nKR\n")
+        rc = main(["search", "--database", str(bad), "-m", "2", "-p", "1", "-a", "serial"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "before first '>' header" in err
+
+    def test_malformed_fault_plan_is_clean_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        rc = main(
+            ["search", "-n", "30", "-m", "2", "-p", "2", "--fault-plan", str(plan)]
+        )
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestFaultToleranceFlags:
+    def test_multiproc_with_fault_plan_retries_and_completes(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, RankCrash
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(FaultPlan(crashes=(RankCrash(0, 1.0),)).to_json())
+        rc = main(
+            [
+                "search", "-n", "40", "-m", "3", "-p", "2",
+                "-a", "multiproc", "--fault-plan", str(plan),
+            ]
+        )
+        assert rc == 0
+        assert "multiprocess p=2" in capsys.readouterr().out
+
+    def test_multiproc_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        base = ["search", "-n", "40", "-m", "3", "-p", "1", "-a", "multiproc",
+                "--checkpoint", str(ckpt)]
+        assert main(base) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        assert "resumed 1 completed task(s)" in capsys.readouterr().out
+
+    def test_sim_engine_accepts_fault_plan(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, Straggler
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(FaultPlan(stragglers=(Straggler(1, factor=0.5),)).to_json())
+        rc = main(
+            ["search", "-n", "40", "-m", "3", "-p", "2", "--fault-plan", str(plan)]
+        )
+        assert rc == 0
+        assert "algorithm_a p=2" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_generate(self, tmp_path, capsys):
         out = tmp_path / "db.fasta"

@@ -6,6 +6,7 @@ import pytest
 
 from repro.chem.fasta import parse_fasta, read_fasta, read_fasta_chunk, write_fasta
 from repro.chem.protein import ProteinDatabase, ProteinRecord
+from repro.errors import FastaError, ReproError
 from repro.workloads.synthetic import generate_database
 
 
@@ -25,6 +26,20 @@ class TestParse:
     def test_content_before_header_rejected(self):
         with pytest.raises(ValueError):
             parse_fasta("PEPTIDE\n>a\nKR\n")
+
+    def test_parse_errors_are_typed(self):
+        """Malformed input raises FastaError — a ReproError subclass the
+        CLI maps to a clean exit, and still a ValueError for old callers."""
+        with pytest.raises(FastaError, match="before first '>' header"):
+            parse_fasta("PEPTIDE\n>a\nKR\n")
+        assert issubclass(FastaError, ValueError)
+        assert issubclass(FastaError, ReproError)
+
+    def test_chunk_range_error_is_typed(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        path.write_text(">a\nAA\n")
+        with pytest.raises(FastaError, match="invalid byte range"):
+            read_fasta_chunk(path, 5, 2)
 
     def test_header_whitespace_stripped(self):
         assert parse_fasta(">  spaced  \nAA\n")[0].name == "spaced"
