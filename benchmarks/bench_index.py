@@ -1,0 +1,153 @@
+"""Fragment-ion index benchmark: indexed vs. direct-batch scoring.
+
+Measures candidates/second through ``ShardSearcher.score_spans`` with
+the shard-resident :class:`~repro.index.fragment_index.FragmentIndex`
+enabled and disabled, per scorer, with a bitwise correctness gate
+before any timing.  Also reports the build-cost amortization curve:
+how many queries it takes for the one-off index build to pay for
+itself, and the effective speedup as the query count grows.
+
+Scorers fall in two regimes:
+
+* ``posting_served`` (shared_peaks, hyperscore) — scores computed
+  straight from the index posting lists; these carry the headline
+  speedup target (>= 2x).
+* ``matrix_cached`` (xcorr, likelihood) — the index serves cached
+  per-candidate fragment matrices, skipping batch construction and
+  ladder generation but re-running the model math.
+
+Run ``python benchmarks/bench_index.py`` to (re)generate
+``BENCH_index.json``; ``--smoke`` runs a tiny workload and exits
+non-zero if indexed throughput regresses below the direct path.
+"""
+
+import time
+
+from repro.core.config import SearchConfig
+from repro.core.search import ShardSearcher
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+#: posting-served scorers must beat direct-batch by this factor in the
+#: full run (the smoke gate only requires no regression).
+POSTING_SERVED = ("shared_peaks", "hyperscore")
+MATRIX_CACHED = ("xcorr", "likelihood")
+
+#: query counts sampled for the amortization curve
+_CURVE_POINTS = (1, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def measure_index_throughput(num_proteins=2_000, num_queries=40, repeats=3):
+    """Indexed vs. direct candidates/s per scorer -> BENCH_index.json payload."""
+    import platform
+
+    import numpy as np
+
+    database = generate_database(num_proteins, seed=202)
+    queries = generate_queries(num_queries, seed=17, source=database)
+
+    scorers = {}
+    for name in POSTING_SERVED + MATRIX_CACHED:
+        indexed = ShardSearcher(database, SearchConfig(scorer=name))
+        direct = ShardSearcher(database, SearchConfig(scorer=name, use_index=False))
+        assert indexed.index is not None and direct.index is None
+        cases = []
+        for query in queries:
+            spans = indexed.generator.candidates(query)
+            if len(spans):
+                cases.append((query, spans))
+        total = sum(len(spans) for _q, spans in cases)
+
+        for query, spans in cases:  # correctness gate before timing
+            got, _d, ir = indexed.score_spans(query, spans)
+            ref, _rd, _ri = direct.score_spans(query, spans)
+            assert ir > 0, f"no index-served rows for {name}"
+            assert got.tobytes() == ref.tobytes(), f"indexed != direct for {name}"
+
+        def best_of(searcher):
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for query, spans in cases:
+                    searcher.score_spans(query, spans)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        indexed_s = best_of(indexed)
+        direct_s = best_of(direct)
+        build = indexed.index_build_time
+        per_query_indexed = indexed_s / len(cases)
+        per_query_direct = direct_s / len(cases)
+        saved = per_query_direct - per_query_indexed
+        curve = [
+            {
+                "queries": q,
+                "effective_speedup": (q * per_query_direct)
+                / (build + q * per_query_indexed),
+            }
+            for q in _CURVE_POINTS
+        ]
+        scorers[name] = {
+            "regime": "posting_served" if name in POSTING_SERVED else "matrix_cached",
+            "indexed_candidates_per_second": total / indexed_s,
+            "direct_candidates_per_second": total / direct_s,
+            "speedup": direct_s / indexed_s,
+            "index_build_seconds": build,
+            "index_nbytes": indexed.index.nbytes,
+            "break_even_queries": build / saved if saved > 0 else None,
+            "amortization_curve": curve,
+        }
+
+    return {
+        "benchmark": "indexed_vs_direct_scoring",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "num_proteins": num_proteins,
+        "num_queries": num_queries,
+        "total_candidates": total,
+        "repeats": repeats,
+        "scorers": scorers,
+    }
+
+
+def main(argv=None):
+    """Emit BENCH_index.json so future PRs have a perf trajectory."""
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_index.json"),
+    )
+    parser.add_argument("--proteins", type=int, default=2_000)
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI; fails on indexed-below-direct regression "
+        "and does not overwrite results",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = measure_index_throughput(num_proteins=200, num_queries=4, repeats=1)
+        print(json.dumps(payload, indent=2))
+        slow = [
+            name
+            for name in POSTING_SERVED
+            if payload["scorers"][name]["speedup"] < 1.0
+        ]
+        if slow:
+            print(f"FAIL: indexed throughput below direct for {slow}", file=sys.stderr)
+            sys.exit(1)
+        return
+    payload = measure_index_throughput(args.proteins, args.queries, args.repeats)
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

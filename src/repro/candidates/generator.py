@@ -131,6 +131,16 @@ def count_candidates(
     delta: float = 3.0,
     modifications: Sequence[Modification] = (),
 ) -> np.ndarray:
-    """Candidate counts per query against a whole database (convenience)."""
+    """Candidate counts per query against a whole database (convenience).
+
+    With no variable modifications configured the counts are computed in
+    one vectorized :meth:`CandidateGenerator.count_unmodified_many` call
+    (two batched binary searches) instead of a per-spectrum Python loop.
+    """
     gen = CandidateGenerator(database, delta, modifications)
+    if not gen.modifications:
+        if not spectra:
+            return np.empty(0, dtype=np.int64)
+        masses = np.array([s.parent_mass for s in spectra], dtype=np.float64)
+        return gen.count_unmodified_many(masses).astype(np.int64)
     return np.array([gen.count(s) for s in spectra], dtype=np.int64)

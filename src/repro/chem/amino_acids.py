@@ -33,12 +33,22 @@ for _aa in AMINO_ACIDS:
     _AVG_TABLE[ord(_aa)] = AVERAGE_MASS[_aa]
 
 
-def mass_table(monoisotopic: bool = True) -> np.ndarray:
-    """Return the 256-entry residue-code -> mass lookup table (read-only view)."""
-    table = _MONO_TABLE if monoisotopic else _AVG_TABLE
+def _readonly_view(table: np.ndarray) -> np.ndarray:
     view = table.view()
     view.flags.writeable = False
     return view
+
+
+# Memoized read-only views: mass_table sits on the fragment-generation hot
+# path (called once per batch kernel invocation), so the view is built once
+# instead of per call.
+_MONO_VIEW = _readonly_view(_MONO_TABLE)
+_AVG_VIEW = _readonly_view(_AVG_TABLE)
+
+
+def mass_table(monoisotopic: bool = True) -> np.ndarray:
+    """Return the 256-entry residue-code -> mass lookup table (read-only view)."""
+    return _MONO_VIEW if monoisotopic else _AVG_VIEW
 
 
 def is_valid_sequence(encoded: np.ndarray) -> bool:

@@ -66,11 +66,28 @@ def _add_search_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--delta", type=_positive_float, default=3.0, help="parent-mass tolerance (Da)")
     p.add_argument("--tau", type=_positive_int, default=50, help="top hits kept per query")
     p.add_argument("--scorer", default="likelihood", help="scoring model")
+    p.add_argument(
+        "--use-index",
+        dest="use_index",
+        action="store_true",
+        default=True,
+        help="serve unmodified candidates from the fragment-ion index (default)",
+    )
+    p.add_argument(
+        "--no-index",
+        dest="use_index",
+        action="store_false",
+        help="disable the fragment-ion index (direct batch scoring only)",
+    )
 
 
 def _make_config(args: argparse.Namespace, execution: ExecutionMode = ExecutionMode.REAL) -> SearchConfig:
     return SearchConfig(
-        delta=args.delta, tau=args.tau, scorer=args.scorer, execution=execution
+        delta=args.delta,
+        tau=args.tau,
+        scorer=args.scorer,
+        execution=execution,
+        use_index=getattr(args, "use_index", True),
     )
 
 

@@ -74,12 +74,22 @@ def _rank_program(
     comm.compute(
         cost.load_time(shard_mem, len(my_queries)), detail="A1 load"
     )
+    # The owner builds its shard's fragment-ion index once; the rotation
+    # then amortizes it — peers Get the searcher, index included, so no
+    # step ever rebuilds.  Traced as "index", not "compute".
+    if my_searcher.index is not None:
+        comm.index_build(
+            cost.index_build_time(my_searcher.index.num_fragments),
+            detail=f"A1 index D{i}",
+        )
     comm.expose(_WINDOW, my_searcher, my_searcher.shard.nbytes)
     yield comm.barrier_op()  # MPI_Win_fence: all windows exposed
 
     # A2: p iterations of score-current / prefetch-next.
     hitlists: Dict[int, TopHitList] = {}
     candidates = 0
+    index_rows = 0
+    rows_scored = 0
     current = my_searcher
     software_rma = comm.network.software_rma and p > 1
     comm.alloc("Dcomp", cost.shard_bytes(current.shard))
@@ -101,10 +111,12 @@ def _rank_program(
                 comm.wait(request)
         stats = current.search(my_queries, hitlists)  # real work
         candidates += stats.candidates_evaluated
+        index_rows += stats.index_rows
+        rows_scored += stats.rows_scored
         comm.compute(
             cost.iteration_overhead
             + cost.scan_time(current.shard.nbytes)
-            + cost.evaluation_time(stats.candidates_evaluated, current.scorer)
+            + cost.search_evaluation_time(stats, current.scorer)
             + cost.query_overhead * len(my_queries),
             detail=f"A2 score D{(i + s) % p}",
         )
@@ -137,7 +149,7 @@ def _rank_program(
     if comm.fault_tolerant and p > 1:
 
         def adopt(failed: int, snapshot) -> None:
-            nonlocal candidates
+            nonlocal candidates, index_rows, rows_scored
             block = query_blocks[failed]
             if not block:
                 return
@@ -158,11 +170,13 @@ def _rank_program(
                 comm.recovery_compute(
                     cost.iteration_overhead
                     + cost.scan_time(searchers[j].shard.nbytes)
-                    + cost.evaluation_time(stats.candidates_evaluated, searchers[j].scorer)
+                    + cost.search_evaluation_time(stats, searchers[j].scorer)
                     + cost.query_overhead * len(block),
                     detail=f"rescore Q{failed} x D{j}",
                 )
                 candidates += stats.candidates_evaluated
+                index_rows += stats.index_rows
+                rows_scored += stats.rows_scored
             adopted_reported = sum(
                 min(len(hitlists[q.query_id]), config.tau)
                 for q in block
@@ -177,7 +191,7 @@ def _rank_program(
         yield from run_recovery_rounds(comm, adopt)
 
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
-    return hits, candidates
+    return hits, candidates, index_rows, rows_scored
 
 
 def run_algorithm_a(
@@ -205,9 +219,13 @@ def run_algorithm_a(
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
     candidates = sum(o.value[1] for o in outcomes)
+    index_rows = sum(o.value[2] for o in outcomes)
+    rows_scored = sum(o.value[3] for o in outcomes)
     extras = {
         "residual_to_compute": summary.mean_residual_to_compute,
         "masking_effectiveness": summary.masking_effectiveness,
+        "index_build_time": summary.total_index_build,
+        "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
     }
     if cluster_config.fault_plan is not None:
         extras.update(

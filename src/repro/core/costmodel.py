@@ -69,6 +69,14 @@ class CostModel:
             holds at most ~1.29 M sequences of avg length 314 (the paper
             crashed past 1.27 M), and Algorithm A's three O(N/p) buffers
             admit ~430 K sequences per added rank (the paper: ~420 K).
+        index_build_per_fragment: seconds per fragment to build the
+            shard-resident fragment-ion index (enumerate spans, generate
+            fragment m/z, sort posting lists).  Charged once per shard
+            per run — the amortized term of the indexed hot path.
+        index_probe_discount: fraction of ``rho`` an index-served
+            candidate evaluation costs.  Probing precomputed posting
+            lists skips fragment generation, which is the bulk of rho;
+            the top-tau ``tau_cost`` term is unchanged.
     """
 
     rho_base: float = 24e-6
@@ -82,6 +90,8 @@ class CostModel:
     reduce_per_key: float = 6e-8
     iteration_overhead: float = 4e-3
     metadata_bytes_per_sequence: int = 520
+    index_build_per_fragment: float = 5e-8
+    index_probe_discount: float = 0.5
 
     def rho(self, scorer: Scorer) -> float:
         """Effective per-candidate evaluation cost for a scorer."""
@@ -92,6 +102,32 @@ class CostModel:
         if candidates < 0:
             raise ValueError(f"candidates must be >= 0, got {candidates}")
         return candidates * (self.rho(scorer) + self.tau_cost)
+
+    def index_build_time(self, num_fragments: int) -> float:
+        """One-time virtual cost of building a shard's fragment-ion index."""
+        if num_fragments < 0:
+            raise ValueError(f"num_fragments must be >= 0, got {num_fragments}")
+        return self.index_build_per_fragment * num_fragments
+
+    def index_probe_time(self, candidates: int, scorer: Scorer) -> float:
+        """Query-processing time for index-served candidate evaluations."""
+        if candidates < 0:
+            raise ValueError(f"candidates must be >= 0, got {candidates}")
+        return candidates * (self.rho(scorer) * self.index_probe_discount + self.tau_cost)
+
+    def search_evaluation_time(self, stats, scorer: Scorer) -> float:
+        """Evaluation time for a :class:`~repro.core.search.ShardStats`.
+
+        Splits the candidate total into index-served rows (charged at the
+        discounted probe rate) and direct evaluations (full rho).  With no
+        index in play (``stats.index_rows == 0``) this reduces exactly to
+        :meth:`evaluation_time`.
+        """
+        index_rows = getattr(stats, "index_rows", 0)
+        direct = stats.candidates_evaluated - index_rows
+        return self.evaluation_time(direct, scorer) + self.index_probe_time(
+            index_rows, scorer
+        )
 
     def candidates_per_second(self, scorer: Scorer) -> float:
         """Modeled scoring throughput: 1 / (rho + tau_cost).

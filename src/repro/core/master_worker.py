@@ -78,6 +78,11 @@ def _worker_program(comm: SimComm, searcher: ShardSearcher, config: SearchConfig
     db_mem = cost.shard_bytes(searcher.shard)
     comm.alloc("D", db_mem)
     comm.compute(cost.load_time(db_mem, 0), detail="S1 load database")
+    # Replicated database => every worker builds its own full index.
+    if searcher.index is not None:
+        comm.index_build(
+            cost.index_build_time(searcher.index.num_fragments), detail="S1 index"
+        )
     candidates = 0
     while True:
         _src, batch = yield comm.recv_op(source=0)
@@ -88,7 +93,7 @@ def _worker_program(comm: SimComm, searcher: ShardSearcher, config: SearchConfig
         candidates += stats.candidates_evaluated
         comm.compute(
             cost.scan_time(searcher.shard.nbytes)
-            + cost.evaluation_time(stats.candidates_evaluated, searcher.scorer)
+            + cost.search_evaluation_time(stats, searcher.scorer)
             + cost.query_overhead * len(batch),
             detail="S3 batch",
         )

@@ -57,6 +57,9 @@ def _rank_program(
     comm.alloc("Di", cost.shard_bytes(searcher.shard))
     comm.alloc("Qi", sum(q.nbytes for q in my_queries))
     comm.compute(cost.load_time(cost.shard_bytes(searcher.shard), len(my_queries)))
+    # Shard stays resident forever here, so the index is built exactly once.
+    if searcher.index is not None:
+        comm.index_build(cost.index_build_time(searcher.index.num_fragments))
 
     # Expose the query block; peers Get it (queries are tiny, this is
     # the point of the model).
@@ -78,7 +81,7 @@ def _rank_program(
         candidates += stats.candidates_evaluated
         comm.compute(
             cost.scan_time(searcher.shard.nbytes)
-            + cost.evaluation_time(stats.candidates_evaluated, searcher.scorer)
+            + cost.search_evaluation_time(stats, searcher.scorer)
             + cost.query_overhead * len(batch)
         )
         partial[owner] = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}

@@ -20,6 +20,7 @@ from repro.candidates.batch import CandidateBatch
 from repro.candidates.generator import CandidateGenerator
 from repro.chem.protein import ProteinDatabase
 from repro.core.config import ExecutionMode, SearchConfig
+from repro.index import FragmentIndex
 from repro.scoring.base import Scorer, batch_scores
 from repro.scoring.hits import TopHitList
 from repro.spectra.library import SpectralLibrary
@@ -33,19 +34,26 @@ class ShardStats:
     ``rows_scored`` counts scorer evaluation rows, which exceeds
     ``candidates_evaluated`` when variable PTMs expand candidates into
     one row per admissible site; ``batches`` counts vectorized scoring
-    calls (one per non-empty query/shard span set).
+    calls (one per non-empty query/shard span set).  ``index_rows``
+    counts the subset of rows served from the fragment-ion index, and
+    ``index_build_time`` accumulates real (wall-clock) seconds spent
+    building indexes — engines add it when they construct a searcher.
     """
 
     candidates_evaluated: int = 0
     queries_processed: int = 0
     batches: int = 0
     rows_scored: int = 0
+    index_rows: int = 0
+    index_build_time: float = 0.0
 
     def merge(self, other: "ShardStats") -> None:
         self.candidates_evaluated += other.candidates_evaluated
         self.queries_processed += other.queries_processed
         self.batches += other.batches
         self.rows_scored += other.rows_scored
+        self.index_rows += other.index_rows
+        self.index_build_time += other.index_build_time
 
 
 class ShardSearcher:
@@ -74,10 +82,35 @@ class ShardSearcher:
         self._mod_targets = {
             mod.delta_mass: ord(mod.target) for mod in self.generator.modifications
         }
+        # Shard-resident fragment-ion index: built once, amortized over
+        # every query this searcher ever sees.  Only REAL execution with
+        # an index-capable scorer pays the build; MODELED runs never
+        # score, and a library-backed likelihood model needs per-candidate
+        # lookups the index cannot serve.
+        self.index = None
+        self.index_build_time = 0.0
+        if (
+            config.use_index
+            and config.execution is ExecutionMode.REAL
+            and getattr(self.scorer, "score_index", None) is not None
+            and getattr(self.scorer, "indexable", True)
+        ):
+            self.index = FragmentIndex(
+                shard,
+                self.generator.index,
+                fragment_tolerance=config.fragment_tolerance,
+                max_length=config.index_max_length,
+            )
+            self.index_build_time = self.index.build_time
 
     @property
     def nbytes(self) -> int:
-        """Shard + index memory, for rank RAM accounting."""
+        """Shard + mass-index memory, for rank RAM accounting.
+
+        Deliberately excludes the fragment-ion index: like the batched
+        scoring buffers, it is a real-execution accelerator the simulated
+        machine never holds (see :meth:`CostModel.database_bytes`).
+        """
         return self.shard.nbytes + self.generator.nbytes
 
     def search(
@@ -124,10 +157,10 @@ class ShardSearcher:
                 spans = spans.take(long_enough)
                 if len(spans) == 0:
                     continue
-            batch = CandidateBatch.from_spans(self.shard, spans, self._mod_targets)
-            scores = batch_scores(self.scorer, spectrum, batch)
+            scores, direct_rows, index_rows = self.score_spans(spectrum, spans)
             stats.batches += 1
-            stats.rows_scored += batch.num_rows
+            stats.rows_scored += direct_rows + index_rows
+            stats.index_rows += index_rows
             if cfg.score_cutoff is not None:
                 passing = scores >= cfg.score_cutoff
                 n_fail = len(scores) - int(passing.sum())
@@ -145,6 +178,37 @@ class ShardSearcher:
                 spans.mod_delta,
             )
         return stats
+
+    def score_spans(self, spectrum: Spectrum, spans) -> tuple:
+        """Score candidate ``spans``; returns ``(scores, direct_rows, index_rows)``.
+
+        ``scores`` is aligned to ``spans``.  With an index, spans it holds
+        (unmodified, length within bounds) are served through the
+        scorer's ``score_index``; the remainder — PTM tiers, overlength
+        spans — fall back to the direct
+        :class:`~repro.candidates.batch.CandidateBatch` path.  Both
+        streams are assembled back in span order, and every index-served
+        score is bitwise identical to its batch counterpart, so callers
+        see identical results with the index on or off.
+        """
+        if self.index is None:
+            batch = CandidateBatch.from_spans(self.shard, spans, self._mod_targets)
+            return batch_scores(self.scorer, spectrum, batch), batch.num_rows, 0
+        rows = self.index.rows_for(spans)
+        use = rows >= 0
+        n_index = int(use.sum())
+        if n_index == 0:
+            batch = CandidateBatch.from_spans(self.shard, spans, self._mod_targets)
+            return batch_scores(self.scorer, spectrum, batch), batch.num_rows, 0
+        scores = np.empty(len(spans), dtype=np.float64)
+        scores[use] = self.scorer.score_index(spectrum, self.index, rows[use])
+        direct_rows = 0
+        if n_index < len(spans):
+            overflow = spans.take(~use)
+            batch = CandidateBatch.from_spans(self.shard, overflow, self._mod_targets)
+            scores[~use] = batch_scores(self.scorer, spectrum, batch)
+            direct_rows = batch.num_rows
+        return scores, direct_rows, n_index
 
     def _score_modified(
         self, spectrum: Spectrum, candidate: np.ndarray, mod_delta: float
@@ -202,11 +266,14 @@ def search_serial(
     searcher = ShardSearcher(database, config, library=library)
     hitlists: Dict[int, TopHitList] = {}
     stats = searcher.search(queries, hitlists)
+    stats.index_build_time += searcher.index_build_time
     cost = config.cost
+    index_fragments = searcher.index.num_fragments if searcher.index is not None else 0
     virtual = (
         cost.load_time(database.nbytes, len(queries))
         + cost.scan_time(database.nbytes)
-        + cost.evaluation_time(stats.candidates_evaluated, searcher.scorer)
+        + cost.index_build_time(index_fragments)
+        + cost.search_evaluation_time(stats, searcher.scorer)
         + cost.query_overhead * len(queries)
         + cost.report_time(sum(min(len(h), config.tau) for h in hitlists.values()))
     )
@@ -221,6 +288,11 @@ def search_serial(
         extras={
             "batches": stats.batches,
             "rows_scored": stats.rows_scored,
+            "index_rows": stats.index_rows,
+            "index_build_time": stats.index_build_time,
+            "index_probe_fraction": stats.index_rows / stats.rows_scored
+            if stats.rows_scored
+            else 0.0,
             "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
         },
     )

@@ -61,6 +61,9 @@ class _GroupComm:
     def compute(self, seconds: float, detail: str = "") -> None:
         self._comm.compute(seconds, detail)
 
+    def index_build(self, seconds: float, detail: str = "") -> None:
+        self._comm.index_build(seconds, detail)
+
     def alloc(self, label: str, nbytes: int) -> None:
         self._comm.alloc(label, nbytes)
 

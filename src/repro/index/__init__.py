@@ -1,0 +1,5 @@
+"""Shard-resident fragment-ion index (HiCOPS-style precomputation)."""
+
+from repro.index.fragment_index import FragmentIndex
+
+__all__ = ["FragmentIndex"]

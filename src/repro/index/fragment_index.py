@@ -1,0 +1,401 @@
+"""Shard-resident fragment-ion index.
+
+The scoring hot path regenerates theoretical fragment arrays for every
+(query, candidate) pair, even though a shard's candidate spans — and
+therefore their fragment m/z values — never change.  Following the
+HiCOPS observation that a precomputed fragment-ion index amortized over
+all queries is the decisive optimization for large-scale MS search, this
+module enumerates a shard's candidate spans *once* at
+:class:`~repro.core.search.ShardSearcher` construction, generates every
+fragment m/z with the existing batched kernels, and stores two
+structures:
+
+* **per-length fragment matrices** — the sorted b+y ladder and the
+  separate b / y fragment matrices for every indexed span, cached so
+  scorers that need whole rows (xcorr binning, likelihood models) gather
+  instead of recomputing; and
+* **CSR-style posting lists** — all fragments sorted by
+  ``(m/z bin, candidate row)`` with a combined integer key, so "which
+  candidates explain this observed peak" is a pair of vectorized binary
+  searches restricted to the query's candidate-row range.
+
+Rows are *precursor-major*: spans are sorted by unmodified span mass, so
+a query's candidate set occupies one contiguous row range and posting
+probes never touch candidates outside the query's mass window.
+
+Exactness contract
+------------------
+Every value served from the index is produced by the same batched
+kernels the direct :class:`~repro.candidates.batch.CandidateBatch` path
+runs per query, and every probe evaluates the same match predicate
+(``p - tol <= f <= p + tol`` on identically-computed floats), so
+index-served scores are bitwise identical to ``batch_scores`` — the
+property test in ``tests/property/test_prop_index.py`` enforces it.
+
+Coverage is bounded: only unmodified spans with
+``2 <= length <= max_length`` are indexed (indexing *all* prefixes and
+suffixes is O(sum of squared sequence lengths) memory).  Spans outside
+that envelope — PTM tiers, very long spans — report row ``-1`` from
+:meth:`FragmentIndex.rows_for` and flow through the direct batch path;
+the searcher merges the two score streams in span order, so hits are
+identical with the index on or off by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.candidates.mass_index import CandidateSpans, MassIndex
+from repro.chem.amino_acids import mass_table
+from repro.chem.protein import ProteinDatabase
+from repro.spectra.binning import row_segment_sums
+from repro.spectra.theoretical import IonSeries, by_ion_ladder_rows, fragment_mz_rows
+
+#: series codes stored in the b/y posting list
+_SERIES_CODE = {"b": 0, "y": 1}
+
+
+def _ragged_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + l)`` for each (start, length) pair."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    prev = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(prev, lengths)
+    return np.repeat(starts, lengths) + ramp
+
+
+@dataclass(frozen=True)
+class _PostingList:
+    """Fragments sorted by the combined ``bin * (num_rows + 1) + row`` key.
+
+    Sorting by the combined key keeps each bin's postings ordered by
+    candidate row, so restricting a probe to the query's row range
+    ``[r0, r1)`` is one extra pair of binary searches instead of a
+    post-hoc filter over every posting near the peak.
+    """
+
+    key: np.ndarray  # int64, sorted ascending
+    mz: np.ndarray  # float64 fragment m/z, aligned to key
+    row: np.ndarray  # int64 candidate row, aligned to key
+    series: Optional[np.ndarray]  # uint8 series code, or None (ladder list)
+
+    @property
+    def nbytes(self) -> int:
+        total = self.key.nbytes + self.mz.nbytes + self.row.nbytes
+        if self.series is not None:
+            total += self.series.nbytes
+        return int(total)
+
+
+@dataclass(frozen=True)
+class _LengthGroup:
+    """Cached fragment matrices for all indexed spans of one length."""
+
+    length: int
+    rows: np.ndarray  # global row ids, ascending
+    ladder: np.ndarray  # (n, 2 * (L - 1)) sorted b+y ladder
+    b: np.ndarray  # (n, L - 1) b-series fragment m/z
+    y: np.ndarray  # (n, L - 1) y-series fragment m/z
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.rows.nbytes + self.ladder.nbytes + self.b.nbytes + self.y.nbytes
+        )
+
+
+class FragmentIndex:
+    """Precomputed fragment arrays + posting lists for one shard."""
+
+    def __init__(
+        self,
+        shard: ProteinDatabase,
+        mass_index: Optional[MassIndex] = None,
+        *,
+        fragment_tolerance: float = 0.5,
+        max_length: int = 48,
+        monoisotopic: bool = True,
+    ):
+        if fragment_tolerance <= 0:
+            raise ValueError(f"fragment_tolerance must be > 0, got {fragment_tolerance}")
+        if max_length < 2:
+            raise ValueError(f"max_length must be >= 2, got {max_length}")
+        build_start = time.perf_counter()
+        self.shard = shard
+        self.max_length = int(max_length)
+        index = mass_index if mass_index is not None else MassIndex(shard)
+
+        spans = index.candidates_in_window(0.0, np.inf)
+        lengths = spans.lengths
+        keep = (lengths >= 2) & (lengths <= self.max_length)
+        if not np.all(keep):
+            spans = spans.take(keep)
+        # Precursor-major row order: a query window maps to one contiguous
+        # row range, which the posting-probe row restriction relies on.
+        spans = spans.take(np.argsort(spans.mass, kind="stable"))
+        self.num_rows = len(spans)
+        self.row_length = spans.lengths
+
+        # Span -> row maps keyed on flat residue position: a prefix span
+        # is identified by the position it ends at, a suffix span by the
+        # position it starts at (full-length spans are enumerated once,
+        # as prefixes, matching CandidateGenerator's span sets).
+        n_flat = len(shard.residues)
+        self._prefix_row = np.full(n_flat, -1, dtype=np.int64)
+        self._suffix_row = np.full(n_flat, -1, dtype=np.int64)
+        off = shard.offsets[spans.seq_index]
+        rows = np.arange(self.num_rows, dtype=np.int64)
+        is_prefix = spans.start == 0
+        pre = np.nonzero(is_prefix)[0]
+        suf = np.nonzero(~is_prefix)[0]
+        self._prefix_row[off[pre] + spans.stop[pre] - 1] = rows[pre]
+        self._suffix_row[off[suf] + spans.start[suf]] = rows[suf]
+
+        # Per-length dense fragment matrices, generated with the same
+        # batched kernels the direct scoring path runs per query.
+        self._group_pos = np.empty(self.num_rows, dtype=np.int64)
+        self._groups: Dict[int, _LengthGroup] = {}
+        table = mass_table(monoisotopic)
+        abs_start = off + spans.start
+        unique_lengths = np.unique(self.row_length) if self.num_rows else ()
+        for length in unique_lengths:
+            length = int(length)
+            grp_rows = np.nonzero(self.row_length == length)[0]
+            mat = shard.residues[abs_start[grp_rows][:, None] + np.arange(length)]
+            mass_rows = table[mat]
+            self._groups[length] = _LengthGroup(
+                length=length,
+                rows=grp_rows,
+                ladder=by_ion_ladder_rows(mass_rows),
+                b=fragment_mz_rows(mass_rows, IonSeries.B),
+                y=fragment_mz_rows(mass_rows, IonSeries.Y),
+            )
+            self._group_pos[grp_rows] = np.arange(len(grp_rows), dtype=np.int64)
+
+        # Bin width covers a full tolerance window so a probe at build
+        # tolerance spans at most two bins; probes at other tolerances
+        # remain exact (they scan however many bins the window covers).
+        self.bin_width = max(2.0 * float(fragment_tolerance), 0.25)
+        groups = self._groups.values()
+        self._ladder_postings = self._build_postings(
+            [(g.ladder, g.rows, None) for g in groups]
+        )
+        self._series_postings = self._build_postings(
+            [(g.b, g.rows, _SERIES_CODE["b"]) for g in groups]
+            + [(g.y, g.rows, _SERIES_CODE["y"]) for g in groups]
+        )
+        self.num_fragments = len(self._ladder_postings.mz) + len(
+            self._series_postings.mz
+        )
+        self.build_time = time.perf_counter() - build_start
+
+    def _build_postings(self, parts) -> _PostingList:
+        """Flatten (matrix, rows, series) parts into one sorted posting list."""
+        parts = [(m, r, s) for m, r, s in parts if m.size]
+        if not parts:
+            empty = np.empty(0, dtype=np.int64)
+            return _PostingList(empty, np.empty(0), empty, None)
+        mz = np.concatenate([m.ravel() for m, _r, _s in parts])
+        row = np.concatenate(
+            [np.repeat(r, m.shape[1]) for m, r, _s in parts]
+        )
+        tagged = parts[0][2] is not None
+        series = (
+            np.concatenate(
+                [np.full(m.size, s, dtype=np.uint8) for m, _r, s in parts]
+            )
+            if tagged
+            else None
+        )
+        bins = (mz / self.bin_width).astype(np.int64)
+        key = bins * (self.num_rows + 1) + row
+        order = np.argsort(key, kind="stable")
+        return _PostingList(
+            key[order],
+            mz[order],
+            row[order],
+            series[order] if series is not None else None,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Index memory footprint (maps + matrices + posting lists)."""
+        total = (
+            self._prefix_row.nbytes
+            + self._suffix_row.nbytes
+            + self._group_pos.nbytes
+            + self.row_length.nbytes
+            + self._ladder_postings.nbytes
+            + self._series_postings.nbytes
+        )
+        for group in self._groups.values():
+            total += group.nbytes
+        return int(total)
+
+    # -- span -> row mapping ---------------------------------------------
+
+    def rows_for(self, spans: CandidateSpans) -> np.ndarray:
+        """Index row of each span, or ``-1`` where the index holds no row.
+
+        PTM-tier spans (``mod_delta != 0``) and spans with length outside
+        ``[2, max_length]`` are not indexed; callers route them through
+        the direct batch path.
+        """
+        n = len(spans)
+        if n == 0 or self.num_rows == 0:
+            return np.full(n, -1, dtype=np.int64)
+        off = self.shard.offsets[spans.seq_index]
+        is_prefix = spans.start == 0
+        pos = np.where(is_prefix, off + spans.stop - 1, off + spans.start)
+        found = np.where(is_prefix, self._prefix_row[pos], self._suffix_row[pos])
+        return np.where(spans.mod_delta == 0.0, found, -1)
+
+    # -- cached-matrix access (xcorr / likelihood) -----------------------
+
+    def iter_row_groups(
+        self, rows: np.ndarray
+    ) -> Iterator[Tuple[np.ndarray, _LengthGroup, np.ndarray]]:
+        """Group ``rows`` by candidate length for dense-matrix gathers.
+
+        Yields ``(positions, group, local)`` where ``positions`` indexes
+        into ``rows`` and ``group.ladder[local]`` (etc.) gathers the
+        cached matrices for exactly those rows, in ``rows`` order.
+        """
+        lengths = self.row_length[rows]
+        for length in np.unique(lengths):
+            length = int(length)
+            positions = np.nonzero(lengths == length)[0]
+            group = self._groups[length]
+            yield positions, group, self._group_pos[rows[positions]]
+
+    # -- posting probes (shared_peaks / hyperscore) ----------------------
+
+    def _probe(
+        self,
+        postings: _PostingList,
+        peaks_mz: np.ndarray,
+        tolerance: float,
+        rows: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """All exact (candidate, peak) fragment matches restricted to ``rows``.
+
+        Returns ``(out_pos, peak_idx, series)`` triples — one entry per
+        matching *posting* (a candidate appears once per matching
+        fragment), with ``out_pos`` indexing into the ``rows`` argument.
+        The match predicate is the scalar one:
+        ``peak - tol <= fragment <= peak + tol``.
+        """
+        none_series = postings.series is not None
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8) if none_series else None,
+        )
+        if len(rows) == 0 or len(peaks_mz) == 0 or len(postings.key) == 0:
+            return empty
+        num_rows = self.num_rows
+        r0 = int(rows.min())
+        r1 = int(rows.max()) + 1
+        sel = np.full(r1 - r0, -1, dtype=np.int64)
+        sel[rows - r0] = np.arange(len(rows), dtype=np.int64)
+
+        pmin = peaks_mz - tolerance
+        pmax = peaks_mz + tolerance
+        b0 = np.maximum(np.floor(pmin / self.bin_width).astype(np.int64), 0)
+        b1 = np.floor(pmax / self.bin_width).astype(np.int64)
+        span = b1 - b0
+        peak_ids = np.arange(len(peaks_mz), dtype=np.int64)
+        flat_parts = []
+        owner_parts = []
+        max_span = int(span.max()) if len(span) else -1
+        for delta in range(max_span + 1):
+            covered = span >= delta
+            if not covered.any():
+                break
+            bins = b0[covered] + delta
+            lo = np.searchsorted(postings.key, bins * (num_rows + 1) + r0, side="left")
+            hi = np.searchsorted(postings.key, bins * (num_rows + 1) + r1, side="left")
+            lens = hi - lo
+            flat_parts.append(_ragged_arange(lo, lens))
+            owner_parts.append(np.repeat(peak_ids[covered], lens))
+        if not flat_parts:
+            return empty
+        flat = np.concatenate(flat_parts)
+        if len(flat) == 0:
+            return empty
+        owner = np.concatenate(owner_parts)
+        mz = postings.mz[flat]
+        keep = (mz >= pmin[owner]) & (mz <= pmax[owner])
+        flat = flat[keep]
+        owner = owner[keep]
+        out_pos = sel[postings.row[flat] - r0]
+        hit = out_pos >= 0
+        return (
+            out_pos[hit],
+            owner[hit],
+            postings.series[flat][hit] if none_series else None,
+        )
+
+    def shared_peak_counts(
+        self, observed_mz: np.ndarray, tolerance: float, rows: np.ndarray
+    ) -> np.ndarray:
+        """Distinct observed peaks matched by each row's b+y ladder.
+
+        Equals ``count_matches_rows(observed_mz, ladder_rows, tolerance)``
+        for the same candidates: both count the union of per-fragment
+        matched-peak sets under the same predicate.
+        """
+        pos, peak, _series = self._probe(
+            self._ladder_postings, observed_mz, tolerance, rows
+        )
+        if len(pos) == 0:
+            return np.zeros(len(rows), dtype=np.int64)
+        num_peaks = len(observed_mz)
+        pairs = np.unique(pos * num_peaks + peak)
+        return np.bincount(pairs // num_peaks, minlength=len(rows)).astype(np.int64)
+
+    def matched_segments(
+        self, observed_mz: np.ndarray, tolerance: float, rows: np.ndarray, series: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ascending distinct matched-peak indices per row for one series.
+
+        Same ragged ``(flat_idx, row_offsets)`` contract as
+        :func:`repro.spectra.binning.matched_peak_segments`, so downstream
+        per-row intensity sums reuse ``row_segment_sums`` and stay bitwise
+        identical to the direct path.
+        """
+        n = len(rows)
+        pos, peak, tags = self._probe(
+            self._series_postings, observed_mz, tolerance, rows
+        )
+        if len(pos) == 0:
+            return np.empty(0, dtype=np.int64), np.zeros(n + 1, dtype=np.int64)
+        wanted = tags == _SERIES_CODE[series]
+        num_peaks = len(observed_mz)
+        # np.unique both dedups (row, peak) pairs hit by several fragments
+        # and sorts them (row-major, then peak ascending) — exactly the
+        # per-row ascending order the direct segment kernel produces.
+        pairs = np.unique(pos[wanted] * num_peaks + peak[wanted])
+        counts = np.bincount(pairs // num_peaks, minlength=n)
+        row_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return (pairs % num_peaks).astype(np.int64), row_offsets
+
+    def matched_intensity(
+        self,
+        observed_mz: np.ndarray,
+        observed_intensity: np.ndarray,
+        tolerance: float,
+        rows: np.ndarray,
+        series: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row matched-peak counts and intensity sums for one series."""
+        flat_idx, row_offsets = self.matched_segments(
+            observed_mz, tolerance, rows, series
+        )
+        counts = np.diff(row_offsets).astype(np.int64)
+        return counts, row_segment_sums(observed_intensity, flat_idx, row_offsets)

@@ -106,3 +106,31 @@ class HyperScorer:
             ln = np.log(dot[valid]) + table[nb[valid]] + table[ny[valid]]
             out[group.rows[valid]] = ln / _LOG10
         return batch.reduce_rows(out)
+
+    def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
+        """Index-served scoring; bitwise identical to :meth:`score_batch`.
+
+        The per-series matched-peak segments come from the b/y posting
+        list instead of regenerated fragment matrices; counts and
+        intensity sums then feed the exact final arithmetic of the
+        batched path.
+        """
+        out = np.full(len(rows), -math.inf)
+        if spectrum.num_peaks == 0 or len(rows) == 0:
+            return out
+        mz = np.ascontiguousarray(spectrum.mz)
+        intensity = np.ascontiguousarray(spectrum.intensity)
+        nb, b_int = index.matched_intensity(
+            mz, intensity, self.fragment_tolerance, rows, "b"
+        )
+        ny, y_int = index.matched_intensity(
+            mz, intensity, self.fragment_tolerance, rows, "y"
+        )
+        dot = b_int + y_int
+        valid = np.nonzero((dot > 0.0) & ((nb > 0) | (ny > 0)))[0]
+        if len(valid) == 0:
+            return out
+        table = _lgamma_factorial(int(max(nb.max(), ny.max())))
+        ln = np.log(dot[valid]) + table[nb[valid]] + table[ny[valid]]
+        out[valid] = ln / _LOG10
+        return out

@@ -42,7 +42,13 @@ from repro.scoring.base import score_batch_fallback
 from repro.spectra.binning import match_peaks, match_peaks_many
 from repro.spectra.library import SpectralLibrary
 from repro.spectra.spectrum import Spectrum
-from repro.spectra.theoretical import theoretical_spectrum, theoretical_spectrum_rows
+from repro.spectra.theoretical import (
+    IonSeries,
+    combine_fragment_rows,
+    series_weight,
+    theoretical_spectrum,
+    theoretical_spectrum_rows,
+)
 
 
 class LikelihoodRatioScorer:
@@ -114,6 +120,31 @@ class LikelihoodRatioScorer:
         llr_unmatched = np.log((1.0 - p1) / (1.0 - p0))
         return float(np.where(matched, llr_matched, llr_unmatched).sum())
 
+    @property
+    def indexable(self) -> bool:
+        """Library-backed models need per-candidate lookups; no index then."""
+        return self.library is None
+
+    def _model_rows_scores(
+        self,
+        observed: np.ndarray,
+        p0: float,
+        model_mz: np.ndarray,
+        model_int: np.ndarray,
+    ) -> np.ndarray:
+        """Per-row log-likelihood ratios for dense model-spectrum rows.
+
+        Shared by the direct batch path and the index-served path, which
+        feed it identical model rows (regenerated vs. assembled from
+        cached fragment matrices), keeping both bitwise identical.
+        """
+        rel = model_int / model_int.max(axis=1, keepdims=True)
+        p1 = np.clip(self.p_detect * rel, 1e-6, 0.999)
+        matched = match_peaks_many(model_mz, observed, self.fragment_tolerance)
+        llr_matched = np.log(p1 / p0)
+        llr_unmatched = np.log((1.0 - p1) / (1.0 - p0))
+        return np.where(matched, llr_matched, llr_unmatched).sum(axis=1)
+
     def score_batch(self, spectrum: Spectrum, batch: CandidateBatch) -> np.ndarray:
         """Vectorized scoring; bitwise identical to the scalar path.
 
@@ -132,10 +163,30 @@ class LikelihoodRatioScorer:
                 if group.length < 2:
                     continue  # empty model spectrum, score stays -inf
                 model_mz, model_int = theoretical_spectrum_rows(group.mass_rows())
-                rel = model_int / model_int.max(axis=1, keepdims=True)
-                p1 = np.clip(self.p_detect * rel, 1e-6, 0.999)
-                matched = match_peaks_many(model_mz, observed, self.fragment_tolerance)
-                llr_matched = np.log(p1 / p0)
-                llr_unmatched = np.log((1.0 - p1) / (1.0 - p0))
-                out[group.rows] = np.where(matched, llr_matched, llr_unmatched).sum(axis=1)
+                out[group.rows] = self._model_rows_scores(
+                    observed, p0, model_mz, model_int
+                )
         return batch.reduce_rows(out)
+
+    def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
+        """Index-served scoring; bitwise identical to :meth:`score_batch`.
+
+        Model-spectrum rows are assembled from the cached b/y fragment
+        matrices with :func:`combine_fragment_rows` — the same merge the
+        batched kernel runs on freshly generated fragments.
+        """
+        out = np.full(len(rows), -math.inf)
+        if spectrum.num_peaks == 0 or len(rows) == 0:
+            return out
+        p0 = self._chance_match_probability(spectrum)
+        observed = np.ascontiguousarray(spectrum.mz)
+        for positions, group, local in index.iter_row_groups(rows):
+            model_mz, model_int = combine_fragment_rows(
+                [
+                    (group.b[local], series_weight(IonSeries.B)),
+                    (group.y[local], series_weight(IonSeries.Y)),
+                ],
+                len(positions),
+            )
+            out[positions] = self._model_rows_scores(observed, p0, model_mz, model_int)
+        return out

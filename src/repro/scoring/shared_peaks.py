@@ -48,3 +48,15 @@ class SharedPeakScorer:
                 spectrum.mz, ladders, self.fragment_tolerance
             )
         return batch.reduce_rows(out)
+
+    def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
+        """Index-served scoring; bitwise identical to :meth:`score_batch`.
+
+        ``rows`` are :class:`~repro.index.FragmentIndex` rows of the
+        candidates to score; the shared-peak count comes straight off the
+        ladder posting list (same union-of-matches semantics as
+        ``count_matches_rows``).
+        """
+        return index.shared_peak_counts(
+            spectrum.mz, self.fragment_tolerance, rows
+        ).astype(np.float64)

@@ -86,29 +86,58 @@ class XCorrScorer:
         # Xcorr is conventionally scaled by 1e-4 of the raw correlation.
         return float(processed[bins].sum()) * 1e-2
 
+    def _ladder_matrix_scores(
+        self, processed: np.ndarray, ladders: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row Xcorr sums and unique-bin counts for a ladder matrix.
+
+        Shared by the direct batch path and the index-served path, which
+        feed it the same ladder rows (regenerated vs. cached), so both
+        produce bitwise-identical scores.
+        """
+        nbins = len(processed)
+        sentinel = np.iinfo(np.int64).max
+        bins = (ladders / self.bin_width).astype(np.int64)
+        bins[(bins < 0) | (bins >= nbins)] = sentinel
+        bins.sort(axis=1)
+        # First occurrence of each value per row == np.unique per row.
+        keep = np.ones(bins.shape, dtype=bool)
+        keep[:, 1:] = bins[:, 1:] != bins[:, :-1]
+        keep &= bins != sentinel
+        counts = keep.sum(axis=1)
+        row_offsets = np.concatenate(([0], np.cumsum(counts)))
+        flat_bins = bins[keep]  # row-major => sorted unique bins per row
+        sums = row_segment_sums(processed, flat_bins, row_offsets)
+        return sums, counts
+
     def score_batch(self, spectrum: Spectrum, batch: CandidateBatch) -> np.ndarray:
         """Vectorized scoring; bitwise identical to the scalar path."""
         out = np.full(batch.num_rows, -np.inf)
         if spectrum.num_peaks == 0:
             return batch.reduce_rows(out)
         processed = self._preprocessed(spectrum)
-        nbins = len(processed)
-        sentinel = np.iinfo(np.int64).max
         for group in batch.length_groups():
             if group.length < 2:
                 continue  # empty ladder, score stays -inf
             ladders = by_ion_ladder_rows(group.mass_rows())
-            bins = (ladders / self.bin_width).astype(np.int64)
-            bins[(bins < 0) | (bins >= nbins)] = sentinel
-            bins.sort(axis=1)
-            # First occurrence of each value per row == np.unique per row.
-            keep = np.ones(bins.shape, dtype=bool)
-            keep[:, 1:] = bins[:, 1:] != bins[:, :-1]
-            keep &= bins != sentinel
-            counts = keep.sum(axis=1)
-            row_offsets = np.concatenate(([0], np.cumsum(counts)))
-            flat_bins = bins[keep]  # row-major => sorted unique bins per row
-            sums = row_segment_sums(processed, flat_bins, row_offsets)
+            sums, counts = self._ladder_matrix_scores(processed, ladders)
             scored = np.nonzero(counts > 0)[0]
             out[group.rows[scored]] = sums[scored] * 1e-2
         return batch.reduce_rows(out)
+
+    def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
+        """Index-served scoring; bitwise identical to :meth:`score_batch`.
+
+        Gathers the cached per-length ladder matrices instead of
+        regenerating them; binning, dedup, and segment sums run through
+        the same `_ladder_matrix_scores` kernel.
+        """
+        out = np.full(len(rows), -np.inf)
+        if spectrum.num_peaks == 0 or len(rows) == 0:
+            return out
+        processed = self._preprocessed(spectrum)
+        for positions, group, local in index.iter_row_groups(rows):
+            sums, counts = self._ladder_matrix_scores(processed, group.ladder[local])
+            scored = np.nonzero(counts > 0)[0]
+            out[positions[scored]] = sums[scored] * 1e-2
+        return out

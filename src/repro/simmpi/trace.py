@@ -18,6 +18,10 @@ needed to reproduce that analysis:
   from ``compute``/``wait`` so fault-free metrics (residual-to-compute,
   masking effectiveness) are untouched by recovery work, and so the cost
   of surviving a fault plan is directly visible in the summary.
+* ``index`` — one-time fragment-ion index construction per shard.
+  Separate from ``compute`` for the same reason as ``recovery``: the
+  build is an amortized setup cost, and folding it into query-processing
+  compute would distort residual-communication ratios.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ class RankTrace:
     comm_issued: float = 0.0
     collective: float = 0.0
     recovery: float = 0.0
+    index_build: float = 0.0
     events: List[tuple] = field(default_factory=list, repr=False)
     record_events: bool = False
 
@@ -60,6 +65,8 @@ class RankTrace:
             self.comm_issued += duration
         elif category == "recovery":
             self.recovery += duration
+        elif category == "index":
+            self.index_build += duration
         else:
             raise ValueError(f"unknown trace category {category!r}")
         if self.record_events and duration > 0:
@@ -97,6 +104,7 @@ class TraceSummary:
     failures: Tuple[RankFailure, ...] = ()
     transfer_retries: int = 0
     recovery_fetches: int = 0
+    total_index_build: float = 0.0
 
     @classmethod
     def from_traces(
@@ -118,6 +126,7 @@ class TraceSummary:
             failures=tuple(failures),
             transfer_retries=transfer_retries,
             recovery_fetches=recovery_fetches,
+            total_index_build=sum(t.index_build for t in traces.values()),
         )
 
     @property

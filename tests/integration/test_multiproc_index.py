@@ -1,0 +1,81 @@
+"""Integration: fragment-ion index + zero-copy transport in the
+multiprocessing engine.
+
+The engine must return bitwise-identical hits whether scores come from
+the shard-resident index or the direct batch path, under both fork and
+spawn start methods, and its per-task payload must carry only id
+references (the shard/query payloads ship once, via the worker
+context).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.results import reports_equal
+from repro.core.search import search_serial
+from repro.engines.multiproc import _TASK_WIRE_BYTES, _Supervisor, run_multiprocess_search
+from repro.faults.supervisor import RetryPolicy
+
+_START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _cfg(**kw):
+    return SearchConfig(tau=10, **kw)
+
+
+class TestIndexOnOff:
+    @pytest.mark.parametrize("start_method", _START_METHODS)
+    def test_identical_hits_index_on_and_off(self, tiny_db, tiny_queries, start_method):
+        on = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+            start_method=start_method,
+        )
+        off = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(use_index=False),
+            start_method=start_method,
+        )
+        assert reports_equal(on, off)
+        assert reports_equal(search_serial(tiny_db, tiny_queries, _cfg()), on)
+        assert on.extras["index_rows"] > 0
+        assert on.extras["index_build_time"] > 0.0
+        assert 0.0 < on.extras["index_probe_fraction"] <= 1.0
+        assert off.extras["index_rows"] == 0
+        assert off.extras["index_probe_fraction"] == 0.0
+
+    def test_query_blocks_split_matches_serial(self, tiny_db, tiny_queries):
+        rep = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(), query_blocks=3
+        )
+        assert rep.extras["query_blocks"] == 3
+        assert reports_equal(search_serial(tiny_db, tiny_queries, _cfg()), rep)
+
+
+class TestZeroCopyTransport:
+    def test_task_payload_is_id_references_only(self):
+        sup = _Supervisor(None, {7: (3, 2)}, RetryPolicy(max_retries=0), None)
+        payload = sup._payload(7)
+        assert payload == (7, 0, 3, 2)
+        assert all(isinstance(v, int) for v in payload)
+
+    def test_bytes_shipped_drop_vs_replicated(self, tiny_db, tiny_queries):
+        """Per-task traffic is a handful of ints; the old design shipped
+        the shard and the query block inside every task."""
+        rep = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(), shards_per_worker=2
+        )
+        ex = rep.extras
+        num_tasks = ex["num_shards"] * ex["query_blocks"]
+        assert ex["bytes_shipped_tasks"] == _TASK_WIRE_BYTES * num_tasks
+        assert ex["bytes_shipped"] == ex["bytes_shipped_setup"] + ex["bytes_shipped_tasks"]
+        assert ex["bytes_shipped"] < ex["bytes_shipped_replicated"]
+
+    def test_inline_path_reports_bytes_too(self, tiny_db, tiny_queries):
+        rep = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=1, config=_cfg(), shards_per_worker=4
+        )
+        assert rep.extras["bytes_shipped"] < rep.extras["bytes_shipped_replicated"]

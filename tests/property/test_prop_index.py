@@ -1,0 +1,139 @@
+"""Property tests: index-served scoring is bitwise-equal to batch_scores.
+
+The fragment-ion index's exactness contract (see
+``repro.index.fragment_index``): every score served from precomputed
+posting lists / cached fragment matrices equals the direct
+``batch_scores`` result bit for bit — across scorers, PTM-mixed span
+sets, empty candidate windows, and empty or degenerate spectra.  The
+searcher-level test additionally covers the merge of index-served and
+direct-overflow score streams back into span order.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.candidates.batch import CandidateBatch
+from repro.candidates.mass_index import MassIndex
+from repro.chem.amino_acids import STANDARD_MODIFICATIONS
+from repro.chem.protein import ProteinDatabase
+from repro.constants import AMINO_ACIDS
+from repro.core.config import SearchConfig
+from repro.core.search import ShardSearcher
+from repro.index import FragmentIndex
+from repro.scoring import (
+    HyperScorer,
+    LikelihoodRatioScorer,
+    SharedPeakScorer,
+    XCorrScorer,
+    batch_scores,
+)
+from repro.spectra.spectrum import Spectrum
+
+sequences = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=30)
+databases = st.lists(sequences, min_size=1, max_size=8).map(
+    ProteinDatabase.from_sequences
+)
+
+#: every scorer that implements score_index
+_SCORERS = [SharedPeakScorer, HyperScorer, XCorrScorer, LikelihoodRatioScorer]
+
+_MODS = [
+    STANDARD_MODIFICATIONS["oxidation"],
+    STANDARD_MODIFICATIONS["phosphorylation_s"],
+]
+
+
+@st.composite
+def spectra(draw):
+    """Observed spectra, including empty and single-peak degenerates."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    mz = np.sort(rng.uniform(60.0, 2500.0, n))
+    intensity = rng.uniform(0.0, 1.0, n)
+    return Spectrum.from_peaks(mz, intensity, precursor_mz=800.0, charge=1, query_id=7)
+
+
+@st.composite
+def index_cases(draw):
+    """A database, its fragment index, and a PTM-mixed span set.
+
+    The mass window may be empty (lo > every span mass) and
+    ``max_length`` small enough to force overflow rows, so both the
+    all-indexed and the mixed index/direct regimes are drawn.
+    """
+    db = draw(databases)
+    max_length = draw(st.sampled_from([2, 6, 48]))
+    index = FragmentIndex(db, fragment_tolerance=0.5, max_length=max_length)
+    lo = draw(st.floats(min_value=0.0, max_value=4000.0, allow_nan=False))
+    width = draw(st.floats(min_value=0.0, max_value=4000.0, allow_nan=False))
+    spans = MassIndex(db).candidates_in_window(lo, lo + width)
+    n = len(spans)
+    deltas = np.zeros(n)
+    choices = draw(st.lists(st.integers(min_value=0, max_value=2), min_size=n, max_size=n))
+    for i, c in enumerate(choices):
+        if c:
+            deltas[i] = _MODS[c - 1].delta_mass
+    spans = replace(spans, mod_delta=deltas)
+    return db, index, spans
+
+
+@given(index_cases(), spectra(), st.sampled_from(_SCORERS))
+@settings(max_examples=60, deadline=None)
+def test_score_index_bitwise_equals_batch_scores(case, spectrum, scorer_cls):
+    db, index, spans = case
+    scorer = scorer_cls()
+    rows = index.rows_for(spans)
+    use = rows >= 0
+    if not use.any():
+        return
+    indexed = spans.take(use)
+    got = scorer.score_index(spectrum, index, rows[use])
+    batch = CandidateBatch.from_spans(db, indexed, {})
+    ref = batch_scores(scorer, spectrum, batch)
+    assert got.shape == ref.shape == (len(indexed),)
+    assert got.tobytes() == ref.tobytes()
+
+
+@given(index_cases())
+@settings(max_examples=60, deadline=None)
+def test_rows_for_covers_exactly_the_indexable_spans(case):
+    """rows >= 0 iff unmodified and 2 <= length <= max_length; rows map
+    back to spans with identical residues."""
+    db, index, spans = case
+    rows = index.rows_for(spans)
+    lengths = spans.lengths
+    expect = (spans.mod_delta == 0.0) & (lengths >= 2) & (lengths <= index.max_length)
+    assert np.array_equal(rows >= 0, expect)
+    hit = np.nonzero(rows >= 0)[0]
+    assert np.array_equal(index.row_length[rows[hit]], lengths[hit])
+    # distinct spans never collide on an index row
+    assert len(np.unique(rows[hit])) == len(hit)
+
+
+@given(index_cases(), spectra(), st.sampled_from(["shared_peaks", "hyperscore", "xcorr", "likelihood"]))
+@settings(max_examples=40, deadline=None)
+def test_searcher_score_spans_identical_with_index_on_and_off(case, spectrum, scorer_name):
+    """The searcher's merged index+overflow stream equals the pure batch
+    path bitwise, spans in original (PTM-tier-mixed) order."""
+    db, _index, spans = case
+    if len(spans) == 0:
+        return
+    cfg_on = SearchConfig(scorer=scorer_name, delta=0.0, modifications=tuple(_MODS), index_max_length=6)
+    cfg_off = replace_config(cfg_on, use_index=False)
+    s_on = ShardSearcher(db, cfg_on)
+    s_off = ShardSearcher(db, cfg_off)
+    assert s_on.index is not None and s_off.index is None
+    got, direct_rows, index_rows = s_on.score_spans(spectrum, spans)
+    ref, ref_rows, ref_index_rows = s_off.score_spans(spectrum, spans)
+    assert ref_index_rows == 0
+    assert direct_rows + index_rows >= len(spans)
+    assert got.tobytes() == ref.tobytes()
+
+
+def replace_config(cfg: SearchConfig, **kw) -> SearchConfig:
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(cfg, **kw)

@@ -1,0 +1,95 @@
+"""Unit tests for the shard-resident fragment-ion index."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecutionMode, SearchConfig
+from repro.core.search import ShardSearcher
+from repro.errors import ConfigError
+from repro.index import FragmentIndex
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.theoretical import by_ion_ladder
+from repro.workloads.synthetic import generate_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(40, seed=11)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self, db):
+        with pytest.raises(ValueError):
+            FragmentIndex(db, fragment_tolerance=0.0)
+        with pytest.raises(ValueError):
+            FragmentIndex(db, max_length=1)
+
+    def test_counts_and_sizes_are_consistent(self, db):
+        index = FragmentIndex(db, max_length=12)
+        assert index.num_rows > 0
+        assert index.row_length.shape == (index.num_rows,)
+        assert np.all(index.row_length >= 2)
+        assert np.all(index.row_length <= 12)
+        assert index.num_fragments > 0
+        assert index.nbytes > 0
+        assert index.build_time >= 0.0
+
+    def test_bin_width_floor(self, db):
+        # narrow tolerances are clamped so bins stay coarse enough to
+        # keep posting lists short
+        assert FragmentIndex(db, fragment_tolerance=0.01).bin_width == 0.25
+        assert FragmentIndex(db, fragment_tolerance=0.5).bin_width == 1.0
+
+    def test_shared_peak_counts_match_ladder(self, db):
+        """A spectrum made of one row's exact ladder matches every peak."""
+        from repro.candidates.mass_index import MassIndex
+
+        index = FragmentIndex(db, fragment_tolerance=0.5)
+        seq = db.sequence(0)[:8]
+        ladder = by_ion_ladder(seq)
+        spans = MassIndex(db).candidates_in_window(0.0, 1e9)
+        rows = index.rows_for(spans)
+        target = (spans.seq_index == 0) & (spans.start == 0) & (spans.stop == 8)
+        (pos,) = np.nonzero(target)
+        assert len(pos) == 1 and rows[pos[0]] >= 0
+        counts = index.shared_peak_counts(
+            ladder, 0.5, rows[pos[0] : pos[0] + 1]
+        )
+        assert counts[0] == len(ladder)
+
+
+class TestSearcherGating:
+    def test_real_execution_builds_index(self, db):
+        searcher = ShardSearcher(db, SearchConfig())
+        assert searcher.index is not None
+        assert searcher.index_build_time > 0.0
+
+    def test_no_index_flag_skips_build(self, db):
+        searcher = ShardSearcher(db, SearchConfig(use_index=False))
+        assert searcher.index is None
+        assert searcher.index_build_time == 0.0
+
+    def test_modeled_execution_never_builds(self, db):
+        searcher = ShardSearcher(db, SearchConfig(execution=ExecutionMode.MODELED))
+        assert searcher.index is None
+
+    def test_library_backed_likelihood_is_not_indexable(self, db):
+        """A spectral library needs per-candidate sequence lookups the
+        index cannot serve, so the searcher must fall back to the
+        direct batch path."""
+        lib = SpectralLibrary()
+        lib.add("PEPTIDEK", np.array([100.0, 200.0]), np.array([1.0, 2.0]))
+        cfg = SearchConfig(scorer="likelihood")
+        assert ShardSearcher(db, cfg, library=lib).index is None
+        assert ShardSearcher(db, cfg).index is not None
+
+    def test_nbytes_excludes_index(self, db):
+        """The simulated machine's memory model covers shard + scorer
+        state only; the index is a host-side acceleration structure."""
+        with_index = ShardSearcher(db, SearchConfig())
+        without = ShardSearcher(db, SearchConfig(use_index=False))
+        assert with_index.nbytes == without.nbytes
+
+    def test_index_max_length_validated_in_config(self):
+        with pytest.raises(ConfigError):
+            SearchConfig(index_max_length=1)
