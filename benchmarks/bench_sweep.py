@@ -1,0 +1,199 @@
+"""Candidate-major sweep benchmark: cohort scoring vs. per-query search.
+
+Measures end-to-end queries/second through ``ShardSearcher.search``
+(query-major: one window probe + one scoring pass per query) against
+``ShardSearcher.search_sweep`` (candidate-major: queries sorted by
+precursor mass, overlapping windows coalesced into cohorts, each shared
+candidate block scored against the whole cohort), with a bitwise
+correctness gate before any timing.  Three curves are reported:
+
+* query-count curve — sweep amortization grows with the number of
+  queries sharing mass windows; the acceptance target is >= 2x at 1K
+  queries for the posting-served scorers (shared_peaks, hyperscore);
+* window-width curve — wider parent-mass tolerances mean more window
+  overlap, hence larger cohorts and more amortization;
+* cohort-size curve — throughput vs. the ``sweep_cohort`` cap
+  (``sweep_cohort=1`` degenerates to per-query enumeration with sweep
+  bookkeeping and bounds the overhead floor).
+
+Run ``python benchmarks/bench_sweep.py`` to (re)generate
+``BENCH_sweep.json``; ``--smoke`` runs a reduced workload and exits
+non-zero if sweep throughput regresses below per-query at >= 500
+queries.
+"""
+
+import time
+
+from repro.core.config import SearchConfig
+from repro.core.search import ShardSearcher
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+#: scorers carrying the headline target (>= 2x at 1K queries, full run)
+HEADLINE_SCORERS = ("shared_peaks", "hyperscore")
+
+_QUERY_POINTS = (100, 500, 1000)
+_DELTA_POINTS = (0.5, 3.0, 10.0)
+_COHORT_POINTS = (1, 4, 16, 32, 64, 128)
+
+
+def _hits_equal(a, b):
+    if set(a) != set(b):
+        return False
+    return all(
+        a[qid].sorted_hits() == b[qid].sorted_hits()
+        and a[qid].evaluated == b[qid].evaluated
+        for qid in a
+    )
+
+
+def _measure_pair(searcher, queries, repeats):
+    """(per_query_s, sweep_s, sweep_stats) for one searcher/workload."""
+
+    def best_of(method):
+        times = []
+        for _ in range(repeats):
+            hitlists = {}
+            t0 = time.perf_counter()
+            method(queries, hitlists)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    # correctness gate before timing: bitwise-identical hits
+    ref, swept = {}, {}
+    searcher.search(queries, ref)
+    stats = searcher.search_sweep(queries, swept)
+    assert _hits_equal(ref, swept), "sweep hits differ from per-query hits"
+    return best_of(searcher.search), best_of(searcher.search_sweep), stats
+
+
+def measure_sweep_throughput(
+    num_proteins=2_000, num_queries=1_000, repeats=3, query_points=_QUERY_POINTS
+):
+    """Sweep vs. per-query queries/s -> BENCH_sweep.json payload."""
+    import platform
+
+    import numpy as np
+
+    database = generate_database(num_proteins, seed=202)
+    queries = generate_queries(num_queries, seed=17, source=database)
+    points = sorted({min(q, num_queries) for q in query_points})
+
+    scorers = {}
+    for name in HEADLINE_SCORERS:
+        searcher = ShardSearcher(database, SearchConfig(scorer=name))
+        curve = []
+        for count in points:
+            subset = queries[:count]
+            pq_s, sw_s, stats = _measure_pair(searcher, subset, repeats)
+            curve.append(
+                {
+                    "queries": count,
+                    "per_query_qps": count / pq_s,
+                    "sweep_qps": count / sw_s,
+                    "speedup": pq_s / sw_s,
+                    "cohorts": stats.sweep_cohorts,
+                    "mean_cohort_size": count / max(stats.sweep_cohorts, 1),
+                }
+            )
+        scorers[name] = {
+            "query_curve": curve,
+            "speedup_at_max_queries": curve[-1]["speedup"],
+        }
+
+    # window-width curve: wider delta -> more window overlap per cohort
+    width_curve = []
+    for delta in _DELTA_POINTS:
+        searcher = ShardSearcher(
+            database, SearchConfig(scorer="shared_peaks", delta=delta)
+        )
+        subset = queries[: min(500, num_queries)]
+        pq_s, sw_s, stats = _measure_pair(searcher, subset, repeats)
+        width_curve.append(
+            {
+                "delta": delta,
+                "speedup": pq_s / sw_s,
+                "cohorts": stats.sweep_cohorts,
+                "mean_cohort_size": len(subset) / max(stats.sweep_cohorts, 1),
+            }
+        )
+
+    # cohort-size curve: throughput vs. the sweep_cohort cap
+    cohort_curve = []
+    for cap in _COHORT_POINTS:
+        searcher = ShardSearcher(
+            database, SearchConfig(scorer="shared_peaks", sweep_cohort=cap)
+        )
+        pq_s, sw_s, stats = _measure_pair(searcher, queries, repeats)
+        cohort_curve.append(
+            {
+                "sweep_cohort": cap,
+                "sweep_qps": num_queries / sw_s,
+                "speedup": pq_s / sw_s,
+                "cohorts": stats.sweep_cohorts,
+            }
+        )
+
+    return {
+        "benchmark": "sweep_vs_per_query_search",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "num_proteins": num_proteins,
+        "num_queries": num_queries,
+        "repeats": repeats,
+        "scorers": scorers,
+        "window_width_curve": width_curve,
+        "cohort_size_curve": cohort_curve,
+    }
+
+
+def main(argv=None):
+    """Emit BENCH_sweep.json so future PRs have a perf trajectory."""
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
+    )
+    parser.add_argument("--proteins", type=int, default=2_000)
+    parser.add_argument("--queries", type=int, default=1_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced workload for CI; fails if sweep throughput falls "
+        "below per-query at >= 500 queries and does not overwrite results",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = measure_sweep_throughput(
+            num_proteins=300, num_queries=500, repeats=1, query_points=(100, 500)
+        )
+        print(json.dumps(payload, indent=2))
+        slow = [
+            name
+            for name in HEADLINE_SCORERS
+            if any(
+                point["speedup"] < 1.0
+                for point in payload["scorers"][name]["query_curve"]
+                if point["queries"] >= 500
+            )
+        ]
+        if slow:
+            print(
+                f"FAIL: sweep throughput below per-query at >=500 queries for {slow}",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+        return
+    payload = measure_sweep_throughput(args.proteins, args.queries, args.repeats)
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,7 @@ class CandidateBatch:
         "row_offsets",
         "_expanded",
         "_groups",
+        "_gpos",
     )
 
     def __init__(
@@ -125,6 +126,7 @@ class CandidateBatch:
         self.row_offsets = row_offsets
         self._expanded = len(row_candidate) != len(spans)
         self._groups: Optional[List[LengthGroup]] = None
+        self._gpos: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         """Number of candidates (not evaluation rows)."""
@@ -241,3 +243,86 @@ class CandidateBatch:
         if len(self.spans) == 0:
             return np.empty(0, dtype=np.float64)
         return np.maximum.reduceat(row_scores, self.row_offsets[:-1])
+
+    # -- per-query selections (cohort / block scoring) -------------------
+
+    def rows_of(self, candidates: np.ndarray) -> np.ndarray:
+        """Evaluation rows of the selected candidates, in candidate order.
+
+        Within a candidate its rows stay in batch (ascending site) order,
+        so the selected row stream is exactly the row stream a batch
+        built from ``spans.take(candidates)`` would produce.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if not self._expanded:
+            return candidates
+        starts = self.row_offsets[candidates]
+        return _ragged_arange(starts, self.row_offsets[candidates + 1] - starts)
+
+    def selected_row_count(self, candidates: np.ndarray) -> int:
+        """Number of evaluation rows the selected candidates own."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if not self._expanded:
+            return len(candidates)
+        return int((self.row_offsets[candidates + 1] - self.row_offsets[candidates]).sum())
+
+    def reduce_selected(self, row_scores: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """:meth:`reduce_rows` over the ``rows_of(candidates)`` stream.
+
+        ``row_scores`` is aligned to :meth:`rows_of` output; the fold is
+        the same ``max`` over the same ascending site order, so the
+        result is bitwise equal to ``reduce_rows`` on a per-query batch.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if not self._expanded:
+            return row_scores
+        if len(candidates) == 0:
+            return np.empty(0, dtype=np.float64)
+        counts = self.row_offsets[candidates + 1] - self.row_offsets[candidates]
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        return np.maximum.reduceat(row_scores, starts)
+
+    def group_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (length-group index, position within group), cached.
+
+        Lets block scorers route an arbitrary row selection to the cached
+        per-group matrices: row ``r`` lives at
+        ``length_groups()[row_group[r]]`` row ``row_local[r]``.
+        """
+        if self._gpos is not None:
+            return self._gpos
+        row_group = np.full(self.num_rows, -1, dtype=np.int64)
+        row_local = np.full(self.num_rows, -1, dtype=np.int64)
+        for g, group in enumerate(self.length_groups()):
+            row_group[group.rows] = g
+            row_local[group.rows] = np.arange(len(group.rows), dtype=np.int64)
+        self._gpos = (row_group, row_local)
+        return self._gpos
+
+    def take(self, candidates: np.ndarray) -> "CandidateBatch":
+        """Sub-batch of the selected candidates (per-query extraction).
+
+        Every per-candidate array is gathered in selection order, so the
+        result is structurally identical to ``from_spans`` on
+        ``spans.take(candidates)`` — the basis for the block fallback
+        path scoring per-query slices of a cohort batch.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        spans = self.spans.take(candidates)
+        res_starts = self.offsets[candidates]
+        res_lengths = self.offsets[candidates + 1] - res_starts
+        residues = self.residues[_ragged_arange(res_starts, res_lengths)]
+        offsets = np.concatenate(([0], np.cumsum(res_lengths)))
+        row_starts = self.row_offsets[candidates]
+        row_counts = self.row_offsets[candidates + 1] - row_starts
+        rows = _ragged_arange(row_starts, row_counts)
+        row_offsets = np.concatenate(([0], np.cumsum(row_counts)))
+        return CandidateBatch(
+            spans,
+            residues,
+            offsets,
+            np.repeat(np.arange(len(candidates), dtype=np.int64), row_counts),
+            self.row_site[rows],
+            self.row_delta[rows],
+            row_offsets,
+        )

@@ -74,15 +74,19 @@ class CandidateGenerator:
             total += counter.nbytes
         return total
 
-    def _filter_modified(self, spans: CandidateSpans, mod: Modification) -> CandidateSpans:
-        """Keep spans containing >= 1 target residue; stamp the mod delta."""
-        if len(spans) == 0:
-            return spans
+    def presence_mask(self, spans: CandidateSpans, mod: Modification) -> np.ndarray:
+        """Boolean mask: spans containing >= 1 of ``mod``'s target residue."""
         offsets = self.shard.offsets
         abs_start = offsets[spans.seq_index] + spans.start
         abs_stop = offsets[spans.seq_index] + spans.stop
         csum = self._target_csums[mod.name]
-        kept = spans.take((csum[abs_stop] - csum[abs_start]) > 0)
+        return (csum[abs_stop] - csum[abs_start]) > 0
+
+    def _filter_modified(self, spans: CandidateSpans, mod: Modification) -> CandidateSpans:
+        """Keep spans containing >= 1 target residue; stamp the mod delta."""
+        if len(spans) == 0:
+            return spans
+        kept = spans.take(self.presence_mask(spans, mod))
         return replace(kept, mod_delta=np.full(len(kept), mod.delta_mass))
 
     def candidates(self, spectrum: Spectrum) -> CandidateSpans:

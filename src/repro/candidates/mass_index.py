@@ -28,6 +28,7 @@ are then recovered from the shard's offsets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
@@ -122,6 +123,18 @@ class MassIndex:
         self._suffix_order = np.argsort(suffix_mass, kind="stable")
         self._suffix_sorted = suffix_mass[self._suffix_order]
         self._offsets = offsets
+        # Deduplicated suffix arrays: a full-length span (start == 0, i.e.
+        # a suffix starting at its sequence's first residue) is reported
+        # as a prefix, so enumeration drops it from the suffix side.  The
+        # start > 0 filter used to run per window query; hoisting it here
+        # makes window enumeration a pure slice of pre-filtered arrays.
+        # Stable filtering of a sorted array preserves sorted order and
+        # tie order, so slices are bitwise identical to the old per-call
+        # filter.  The full arrays above remain for counting, where the
+        # duplicate is subtracted via the parent-mass array instead.
+        proper = self._suffix_order != offsets[self.seq_of_pos[self._suffix_order]]
+        self._suffix_dedup_order = self._suffix_order[proper]
+        self._suffix_dedup_sorted = self._suffix_sorted[proper]
         # Sorted whole-sequence masses: a full-length span appears in both
         # the prefix and the suffix arrays; enumeration reports it once
         # (as a prefix), and counting subtracts this array's window count
@@ -138,6 +151,8 @@ class MassIndex:
             + self._prefix_sorted.nbytes
             + self._suffix_order.nbytes
             + self._suffix_sorted.nbytes
+            + self._suffix_dedup_order.nbytes
+            + self._suffix_dedup_sorted.nbytes
         )
 
     # -- window counting (O(log N), used by modeled execution) ----------
@@ -216,15 +231,118 @@ class MassIndex:
         """All candidates (prefixes then suffixes) with mass in ``[lo, hi]``.
 
         A full-length span qualifies both as a prefix and as a suffix; it
-        is reported once, as a prefix (the suffix enumeration drops spans
-        with ``start == 0``), so candidate sets contain no duplicates.
+        is reported once, as a prefix (the pre-deduplicated suffix arrays
+        hold only spans with ``start > 0``), so candidate sets contain no
+        duplicates.  Empty windows return without touching (or copying)
+        any of the index arrays.
         """
-        prefixes = self.prefixes_in_window(lo, hi)
-        suffixes = self.suffixes_in_window(lo, hi)
-        keep = suffixes.start > 0
-        if not np.all(keep):
-            suffixes = suffixes.take(keep)
-        return CandidateSpans.concat([prefixes, suffixes])
+        p0 = int(np.searchsorted(self._prefix_sorted, lo, side="left"))
+        p1 = int(np.searchsorted(self._prefix_sorted, hi, side="right"))
+        s0 = int(np.searchsorted(self._suffix_dedup_sorted, lo, side="left"))
+        s1 = int(np.searchsorted(self._suffix_dedup_sorted, hi, side="right"))
+        if p1 <= p0 and s1 <= s0:
+            return CandidateSpans.empty()
+        spans, _num_prefixes = self.sweep_spans(p0, p1, s0, s1)
+        return spans
+
+    # -- sweep enumeration (candidate-major search) ----------------------
+
+    def windows_many(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized window boundaries for many queries at once.
+
+        Returns ``(p0, p1, s0, s1)``: per query, the half-open slice
+        ``[p0, p1)`` of the sorted prefix array and ``[s0, s1)`` of the
+        deduplicated sorted suffix array whose masses lie in
+        ``[low, high]`` — the batched replacement for per-query
+        ``candidates_in_window`` binary searches.  For query ``q``,
+        ``sweep_spans(p0[q], p1[q], s0[q], s1[q])`` enumerates exactly
+        ``candidates_in_window(lows[q], highs[q])``.
+        """
+        p0 = np.searchsorted(self._prefix_sorted, lows, side="left")
+        p1 = np.searchsorted(self._prefix_sorted, highs, side="right")
+        s0 = np.searchsorted(self._suffix_dedup_sorted, lows, side="left")
+        s1 = np.searchsorted(self._suffix_dedup_sorted, highs, side="right")
+        return p0, p1, s0, s1
+
+    def sweep_spans(
+        self, p0: int, p1: int, s0: int, s1: int
+    ) -> Tuple[CandidateSpans, int]:
+        """Materialize one candidate block from sorted-array slice bounds.
+
+        Returns ``(spans, num_prefixes)`` where ``spans`` lists the
+        prefixes ``[p0, p1)`` followed by the deduplicated suffixes
+        ``[s0, s1)``, each in ascending-mass (slice) order.  A cohort of
+        queries with overlapping windows enumerates its union block once
+        through this method; each member's candidate set is then the pair
+        of contiguous sub-slices its own ``windows_many`` bounds select,
+        in exactly ``candidates_in_window`` order.
+        """
+        p0, p1 = int(p0), int(max(p0, p1))
+        s0, s1 = int(s0), int(max(s0, s1))
+        pos = self._prefix_order[p0:p1]
+        seq = self.seq_of_pos[pos]
+        prefixes = CandidateSpans(
+            seq,
+            np.zeros(len(pos), dtype=np.int64),
+            pos - self._offsets[seq] + 1,
+            self._prefix_sorted[p0:p1].copy(),
+            np.zeros(len(pos)),
+        )
+        pos = self._suffix_dedup_order[s0:s1]
+        seq = self.seq_of_pos[pos]
+        suffixes = CandidateSpans(
+            seq,
+            pos - self._offsets[seq],
+            self._offsets[seq + 1] - self._offsets[seq],
+            self._suffix_dedup_sorted[s0:s1].copy(),
+            np.zeros(len(pos)),
+        )
+        return CandidateSpans.concat([prefixes, suffixes]), len(prefixes)
+
+    def sweep_windows(
+        self, lows: np.ndarray, highs: np.ndarray, max_cohort: int
+    ) -> Tuple[
+        Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        List[Tuple[int, int]],
+    ]:
+        """One-sweep replacement for per-query window binary searches.
+
+        For queries sorted by window low edge, returns the vectorized
+        per-query slice bounds (:meth:`windows_many`) together with the
+        cohort partition (:func:`coalesce_windows`): queries whose mass
+        windows overlap share one union candidate block, enumerated once
+        per cohort via :meth:`sweep_spans`.
+        """
+        bounds = self.windows_many(lows, highs)
+        return bounds, coalesce_windows(lows, highs, max_cohort)
+
+
+def coalesce_windows(
+    lows: np.ndarray, highs: np.ndarray, max_cohort: int
+) -> List[Tuple[int, int]]:
+    """Partition sorted query windows into overlapping cohorts.
+
+    ``lows`` must be non-decreasing (queries sorted by window low edge).
+    Returns half-open index ranges ``[a, b)``; consecutive windows join a
+    cohort while the next low edge falls inside the running union of the
+    cohort's windows, capped at ``max_cohort`` members so one outlier-wide
+    window cannot chain an entire rank's queries into a single block.
+    """
+    cohorts: List[Tuple[int, int]] = []
+    n = len(lows)
+    i = 0
+    while i < n:
+        hi = highs[i]
+        j = i + 1
+        while j < n and j - i < max_cohort and lows[j] <= hi:
+            if highs[j] > hi:
+                hi = highs[j]
+            j += 1
+        cohorts.append((i, j))
+        i = j
+    return cohorts
 
 
 class PresenceCounter:

@@ -79,6 +79,25 @@ def _add_search_args(p: argparse.ArgumentParser) -> None:
         action="store_false",
         help="disable the fragment-ion index (direct batch scoring only)",
     )
+    p.add_argument(
+        "--use-sweep",
+        dest="use_sweep",
+        action="store_true",
+        default=False,
+        help="run the candidate-major sweep kernel (bitwise-identical hits)",
+    )
+    p.add_argument(
+        "--no-sweep",
+        dest="use_sweep",
+        action="store_false",
+        help="per-query candidate enumeration (default)",
+    )
+    p.add_argument(
+        "--sweep-cohort",
+        type=_positive_int,
+        default=64,
+        help="max queries coalesced into one sweep cohort",
+    )
 
 
 def _make_config(args: argparse.Namespace, execution: ExecutionMode = ExecutionMode.REAL) -> SearchConfig:
@@ -88,6 +107,8 @@ def _make_config(args: argparse.Namespace, execution: ExecutionMode = ExecutionM
         scorer=args.scorer,
         execution=execution,
         use_index=getattr(args, "use_index", True),
+        use_sweep=getattr(args, "use_sweep", False),
+        sweep_cohort=getattr(args, "sweep_cohort", 64),
     )
 
 

@@ -42,7 +42,7 @@ from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.recovery import run_recovery_rounds
 from repro.core.results import SearchReport, merge_rank_hits
-from repro.core.search import ShardSearcher
+from repro.core.search import ShardSearcher, ShardStats
 from repro.errors import RankFailedError
 from repro.scoring.hits import TopHitList
 from repro.simmpi.comm import SimComm
@@ -87,9 +87,7 @@ def _rank_program(
 
     # A2: p iterations of score-current / prefetch-next.
     hitlists: Dict[int, TopHitList] = {}
-    candidates = 0
-    index_rows = 0
-    rows_scored = 0
+    totals = ShardStats()
     current = my_searcher
     software_rma = comm.network.software_rma and p > 1
     comm.alloc("Dcomp", cost.shard_bytes(current.shard))
@@ -109,17 +107,19 @@ def _rank_program(
             if not mask and request is not None:
                 # ablation: synchronous fetch — no overlap with compute
                 comm.wait(request)
-        stats = current.search(my_queries, hitlists)  # real work
-        candidates += stats.candidates_evaluated
-        index_rows += stats.index_rows
-        rows_scored += stats.rows_scored
+        stats = current.run(my_queries, hitlists)  # real work
+        totals.merge(stats)
+        overhead = cost.query_processing_overhead(stats, len(my_queries))
         comm.compute(
             cost.iteration_overhead
             + cost.scan_time(current.shard.nbytes)
             + cost.search_evaluation_time(stats, current.scorer)
-            + cost.query_overhead * len(my_queries),
+            + (0.0 if stats.sweep_queries else overhead),
             detail=f"A2 score D{(i + s) % p}",
         )
+        if stats.sweep_queries:
+            # sweep bookkeeping is traced separately, like index builds
+            comm.sweep_setup(overhead, detail=f"A2 sweep D{(i + s) % p}")
         if request is not None:
             current = comm.wait(request)
             comm.alloc("Dcomp", cost.shard_bytes(current.shard))
@@ -149,7 +149,6 @@ def _rank_program(
     if comm.fault_tolerant and p > 1:
 
         def adopt(failed: int, snapshot) -> None:
-            nonlocal candidates, index_rows, rows_scored
             block = query_blocks[failed]
             if not block:
                 return
@@ -166,17 +165,15 @@ def _rank_program(
                     comm.recovery_fetch(
                         j, searchers[j].shard.nbytes, detail=f"refetch D{j} for Q{failed}"
                     )
-                stats = searchers[j].search(block, hitlists)
+                stats = searchers[j].run(block, hitlists)
                 comm.recovery_compute(
                     cost.iteration_overhead
                     + cost.scan_time(searchers[j].shard.nbytes)
                     + cost.search_evaluation_time(stats, searchers[j].scorer)
-                    + cost.query_overhead * len(block),
+                    + cost.query_processing_overhead(stats, len(block)),
                     detail=f"rescore Q{failed} x D{j}",
                 )
-                candidates += stats.candidates_evaluated
-                index_rows += stats.index_rows
-                rows_scored += stats.rows_scored
+                totals.merge(stats)
             adopted_reported = sum(
                 min(len(hitlists[q.query_id]), config.tau)
                 for q in block
@@ -191,7 +188,7 @@ def _rank_program(
         yield from run_recovery_rounds(comm, adopt)
 
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
-    return hits, candidates, index_rows, rows_scored
+    return hits, totals
 
 
 def run_algorithm_a(
@@ -218,15 +215,23 @@ def run_algorithm_a(
     outcomes, summary = cluster.run(_rank_program, args)
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
-    candidates = sum(o.value[1] for o in outcomes)
-    index_rows = sum(o.value[2] for o in outcomes)
-    rows_scored = sum(o.value[3] for o in outcomes)
+    totals = ShardStats()
+    for o in outcomes:
+        totals.merge(o.value[1])
     extras = {
         "residual_to_compute": summary.mean_residual_to_compute,
         "masking_effectiveness": summary.masking_effectiveness,
         "index_build_time": summary.total_index_build,
-        "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
+        "index_probe_fraction": (
+            totals.index_rows / totals.rows_scored if totals.rows_scored else 0.0
+        ),
     }
+    if config.use_sweep:
+        extras.update(
+            sweep_queries=totals.sweep_queries,
+            sweep_cohorts=totals.sweep_cohorts,
+            sweep_setup_time=summary.total_sweep,
+        )
     if cluster_config.fault_plan is not None:
         extras.update(
             failed_ranks=list(summary.failed_ranks),
@@ -238,7 +243,7 @@ def run_algorithm_a(
         algorithm="algorithm_a" if mask else "algorithm_a_nomask",
         num_ranks=num_ranks,
         hits=hits,
-        candidates_evaluated=candidates,
+        candidates_evaluated=totals.candidates_evaluated,
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},

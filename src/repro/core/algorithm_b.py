@@ -37,7 +37,7 @@ from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.recovery import run_recovery_rounds
 from repro.core.results import SearchReport, merge_rank_hits
-from repro.core.search import ShardSearcher
+from repro.core.search import ShardSearcher, ShardStats
 from repro.core.sort import parallel_counting_sort
 from repro.errors import RankFailedError
 from repro.scoring.hits import TopHitList
@@ -110,9 +110,7 @@ def _rank_program(
         rotation = []
 
     hitlists: Dict[int, TopHitList] = {}
-    candidates = 0
-    index_rows = 0
-    rows_scored = 0
+    totals = ShardStats()
     current: Optional[ShardSearcher] = None
     if rotation:
         if rotation[0] == i:
@@ -162,17 +160,19 @@ def _rank_program(
                 np.searchsorted(q_masses, max_masses[target] + config.delta, side="right")
             )
             subset = queries_sorted[:cutoff]
-            stats = current.search(subset, hitlists)
-            candidates += stats.candidates_evaluated
-            index_rows += stats.index_rows
-            rows_scored += stats.rows_scored
+            stats = current.run(subset, hitlists)
+            totals.merge(stats)
+            overhead = cost.query_processing_overhead(stats, len(subset))
             comm.compute(
                 cost.iteration_overhead
                 + cost.scan_time(current.shard.nbytes)
                 + cost.search_evaluation_time(stats, current.scorer)
-                + cost.query_overhead * len(subset),
+                + (0.0 if stats.sweep_queries else overhead),
                 detail=f"B3 score rank {target}",
             )
+            if stats.sweep_queries:
+                # sweep bookkeeping is traced separately, like index builds
+                comm.sweep_setup(overhead, detail=f"B3 sweep rank {target}")
             if request is not None:
                 current = comm.wait(request)
                 comm.alloc("Dcomp", cost.shard_bytes(current.shard))
@@ -200,7 +200,6 @@ def _rank_program(
     if comm.fault_tolerant and p > 1:
 
         def adopt(failed: int, snapshot) -> None:
-            nonlocal candidates, index_rows, rows_scored
             block = query_blocks[failed]
             if not block:
                 return
@@ -216,17 +215,15 @@ def _rank_program(
                     comm.recovery_fetch(
                         j, remote.shard.nbytes, detail=f"refetch D{j} for Q{failed}"
                     )
-                stats = remote.search(block, hitlists)
+                stats = remote.run(block, hitlists)
                 comm.recovery_compute(
                     cost.iteration_overhead
                     + cost.scan_time(remote.shard.nbytes)
                     + cost.search_evaluation_time(stats, remote.scorer)
-                    + cost.query_overhead * len(block),
+                    + cost.query_processing_overhead(stats, len(block)),
                     detail=f"rescore Q{failed} x D{j}",
                 )
-                candidates += stats.candidates_evaluated
-                index_rows += stats.index_rows
-                rows_scored += stats.rows_scored
+                totals.merge(stats)
             for q in block:
                 hitlists.setdefault(q.query_id, TopHitList(config.tau))
             adopted_reported = sum(
@@ -241,7 +238,7 @@ def _rank_program(
         yield from run_recovery_rounds(comm, adopt)
 
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
-    return hits, candidates, sorting_time, index_rows, rows_scored
+    return hits, totals, sorting_time
 
 
 def run_algorithm_b(
@@ -267,17 +264,25 @@ def run_algorithm_b(
     outcomes, summary = cluster.run(_rank_program, args)
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
-    candidates = sum(o.value[1] for o in outcomes)
+    totals = ShardStats()
+    for o in outcomes:
+        totals.merge(o.value[1])
     sorting_time = max(o.value[2] for o in outcomes)
-    index_rows = sum(o.value[3] for o in outcomes)
-    rows_scored = sum(o.value[4] for o in outcomes)
     extras = {
         "sorting_time": sorting_time,
         "residual_to_compute": summary.mean_residual_to_compute,
         "masking_effectiveness": summary.masking_effectiveness,
         "index_build_time": summary.total_index_build,
-        "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
+        "index_probe_fraction": (
+            totals.index_rows / totals.rows_scored if totals.rows_scored else 0.0
+        ),
     }
+    if config.use_sweep:
+        extras.update(
+            sweep_queries=totals.sweep_queries,
+            sweep_cohorts=totals.sweep_cohorts,
+            sweep_setup_time=summary.total_sweep,
+        )
     if cluster_config.fault_plan is not None:
         extras.update(
             failed_ranks=list(summary.failed_ranks),
@@ -289,7 +294,7 @@ def run_algorithm_b(
         algorithm="algorithm_b",
         num_ranks=num_ranks,
         hits=hits,
-        candidates_evaluated=candidates,
+        candidates_evaluated=totals.candidates_evaluated,
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},

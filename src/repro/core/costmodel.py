@@ -77,6 +77,16 @@ class CostModel:
             candidate evaluation costs.  Probing precomputed posting
             lists skips fragment generation, which is the bulk of rho;
             the top-tau ``tau_cost`` term is unchanged.
+        sweep_setup_per_query: residual per-query bookkeeping on the
+            candidate-major sweep path (sort slot, vectorized window
+            bounds, selection assembly).  Replaces ``query_overhead``
+            when the sweep kernel runs — the window binary searches and
+            buffer setup that term charges are exactly what the sweep
+            batches away.
+        sweep_probe_per_cohort: per-cohort cost of the sweep path
+            (union-window enumeration, shared block materialization, the
+            one batched probe).  Amortized over every member of the
+            cohort, which is the sweep's whole point.
     """
 
     rho_base: float = 24e-6
@@ -92,6 +102,8 @@ class CostModel:
     metadata_bytes_per_sequence: int = 520
     index_build_per_fragment: float = 5e-8
     index_probe_discount: float = 0.5
+    sweep_setup_per_query: float = 4e-5
+    sweep_probe_per_cohort: float = 2.5e-4
 
     def rho(self, scorer: Scorer) -> float:
         """Effective per-candidate evaluation cost for a scorer."""
@@ -128,6 +140,26 @@ class CostModel:
         return self.evaluation_time(direct, scorer) + self.index_probe_time(
             index_rows, scorer
         )
+
+    def query_processing_overhead(self, stats, num_queries: int) -> float:
+        """Per-query bookkeeping for one shard iteration.
+
+        The per-query path charges ``query_overhead`` per query (window
+        binary searches, per-query buffers).  When the batch ran through
+        the candidate-major sweep (``stats.sweep_queries > 0``), queries
+        are charged the residual ``sweep_setup_per_query`` and the probe
+        work is charged per *cohort* — amortized across every member —
+        so the virtual-time model rewards window locality exactly where
+        the real kernel does.
+        """
+        if num_queries < 0:
+            raise ValueError(f"num_queries must be >= 0, got {num_queries}")
+        if getattr(stats, "sweep_queries", 0):
+            return (
+                self.sweep_setup_per_query * num_queries
+                + self.sweep_probe_per_cohort * getattr(stats, "sweep_cohorts", 0)
+            )
+        return self.query_overhead * num_queries
 
     def candidates_per_second(self, scorer: Scorer) -> float:
         """Modeled scoring throughput: 1 / (rho + tau_cost).

@@ -116,7 +116,7 @@ class PeptideIdentifier:
     def _identify_serial(self, spectra):
         assert self._searcher is not None
         hitlists = {}
-        stats = self._searcher.search(spectra, hitlists)
+        stats = self._searcher.run(spectra, hitlists)
         self.total_candidates += stats.candidates_evaluated
         hitmap = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
         counts = {qid: hl.evaluated for qid, hl in hitlists.items()}

@@ -89,14 +89,17 @@ def _worker_program(comm: SimComm, searcher: ShardSearcher, config: SearchConfig
         if batch is None:
             return None, candidates
         hitlists: Dict[int, TopHitList] = {}
-        stats = searcher.search(batch, hitlists)  # S3: real work, local only
+        stats = searcher.run(batch, hitlists)  # S3: real work, local only
         candidates += stats.candidates_evaluated
+        overhead = cost.query_processing_overhead(stats, len(batch))
         comm.compute(
             cost.scan_time(searcher.shard.nbytes)
             + cost.search_evaluation_time(stats, searcher.scorer)
-            + cost.query_overhead * len(batch),
+            + (0.0 if stats.sweep_queries else overhead),
             detail="S3 batch",
         )
+        if stats.sweep_queries:
+            comm.sweep_setup(overhead, detail="S3 sweep")
         hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
         nhits = sum(len(h) for h in hits.values())
         comm.send(0, hits, _HIT_BYTES * max(nhits, 1))

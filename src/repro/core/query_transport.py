@@ -77,13 +77,16 @@ def _rank_program(
             req = comm.iget(owner, "Qi")
             batch = comm.wait(req)
         hitlists: Dict[int, TopHitList] = {}
-        stats = searcher.search(batch, hitlists)
+        stats = searcher.run(batch, hitlists)
         candidates += stats.candidates_evaluated
+        overhead = cost.query_processing_overhead(stats, len(batch))
         comm.compute(
             cost.scan_time(searcher.shard.nbytes)
             + cost.search_evaluation_time(stats, searcher.scorer)
-            + cost.query_overhead * len(batch)
+            + (0.0 if stats.sweep_queries else overhead)
         )
+        if stats.sweep_queries:
+            comm.sweep_setup(overhead)
         partial[owner] = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
 
     # Send partial results to each query's owner (the serializing step).

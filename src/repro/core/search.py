@@ -11,20 +11,23 @@ list makes the final output order-independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.candidates.batch import CandidateBatch
 from repro.candidates.generator import CandidateGenerator
+from repro.candidates.mass_index import CandidateSpans, coalesce_windows
 from repro.chem.protein import ProteinDatabase
 from repro.core.config import ExecutionMode, SearchConfig
 from repro.index import FragmentIndex
-from repro.scoring.base import Scorer, batch_scores
+from repro.index.fragment_index import _ragged_arange
+from repro.scoring.base import Scorer, batch_scores, block_scores
 from repro.scoring.hits import TopHitList
 from repro.spectra.library import SpectralLibrary
 from repro.spectra.spectrum import Spectrum
+from repro.spectra.spectrum_batch import SpectrumBatch
 
 
 @dataclass
@@ -34,10 +37,13 @@ class ShardStats:
     ``rows_scored`` counts scorer evaluation rows, which exceeds
     ``candidates_evaluated`` when variable PTMs expand candidates into
     one row per admissible site; ``batches`` counts vectorized scoring
-    calls (one per non-empty query/shard span set).  ``index_rows``
-    counts the subset of rows served from the fragment-ion index, and
-    ``index_build_time`` accumulates real (wall-clock) seconds spent
-    building indexes — engines add it when they construct a searcher.
+    calls (one per non-empty query/shard span set, or one per cohort on
+    the sweep path).  ``index_rows`` counts the subset of rows served
+    from the fragment-ion index, and ``index_build_time`` accumulates
+    real (wall-clock) seconds spent building indexes — engines add it
+    when they construct a searcher.  ``sweep_queries``/``sweep_cohorts``
+    count queries routed through the candidate-major sweep and the
+    cohorts they coalesced into; both stay 0 on the per-query path.
     """
 
     candidates_evaluated: int = 0
@@ -46,6 +52,8 @@ class ShardStats:
     rows_scored: int = 0
     index_rows: int = 0
     index_build_time: float = 0.0
+    sweep_queries: int = 0
+    sweep_cohorts: int = 0
 
     def merge(self, other: "ShardStats") -> None:
         self.candidates_evaluated += other.candidates_evaluated
@@ -54,6 +62,8 @@ class ShardStats:
         self.rows_scored += other.rows_scored
         self.index_rows += other.index_rows
         self.index_build_time += other.index_build_time
+        self.sweep_queries += other.sweep_queries
+        self.sweep_cohorts += other.sweep_cohorts
 
 
 class ShardSearcher:
@@ -133,18 +143,15 @@ class ShardSearcher:
         """
         stats = ShardStats()
         cfg = self.config
-        modeled = cfg.execution is ExecutionMode.MODELED
+        if cfg.execution is ExecutionMode.MODELED:
+            self._count_modeled(list(queries), hitlists, stats)
+            return stats
         min_len = cfg.min_candidate_length
         for spectrum in queries:
             stats.queries_processed += 1
             hitlist = hitlists.get(spectrum.query_id)
             if hitlist is None:
                 hitlist = hitlists[spectrum.query_id] = TopHitList(cfg.tau)
-            if modeled:
-                count = self.count_for(spectrum)
-                stats.candidates_evaluated += count
-                hitlist.evaluated += count
-                continue
             spans = self.generator.candidates(spectrum)
             n_total = len(spans)
             stats.candidates_evaluated += n_total
@@ -178,6 +185,306 @@ class ShardSearcher:
                 spans.mod_delta,
             )
         return stats
+
+    def run(
+        self, queries: Iterable[Spectrum], hitlists: Dict[int, TopHitList]
+    ) -> ShardStats:
+        """Dispatch to the configured kernel: per-query or candidate-major.
+
+        The single entry point engines call, so ``config.use_sweep``
+        switches every algorithm between the two (bitwise-identical)
+        execution shapes at once.
+        """
+        if self.config.use_sweep:
+            return self.search_sweep(queries, hitlists)
+        return self.search(queries, hitlists)
+
+    def _count_modeled(
+        self,
+        queries: Sequence[Spectrum],
+        hitlists: Dict[int, TopHitList],
+        stats: ShardStats,
+    ) -> None:
+        """MODELED execution: exact vectorized counts, no scoring."""
+        cfg = self.config
+        counts = self.count_each(queries)
+        for spectrum, count in zip(queries, counts):
+            stats.queries_processed += 1
+            hitlist = hitlists.get(spectrum.query_id)
+            if hitlist is None:
+                hitlist = hitlists[spectrum.query_id] = TopHitList(cfg.tau)
+            stats.candidates_evaluated += int(count)
+            hitlist.evaluated += int(count)
+
+    def search_sweep(
+        self, queries: Iterable[Spectrum], hitlists: Dict[int, TopHitList]
+    ) -> ShardStats:
+        """Candidate-major search: one window sweep per shard, per cohort.
+
+        Queries are sorted by precursor mass, their windows swept against
+        the shard's sorted mass arrays in one vectorized pass
+        (:meth:`MassIndex.sweep_windows`), and queries with overlapping
+        windows coalesced into cohorts that share one materialized
+        candidate block and one multi-spectrum scoring call.  Every
+        per-query candidate set, score, filter, and hit-list offer is
+        bitwise identical to :meth:`search` — each member's candidates
+        are contiguous sub-slices of the cohort block in exactly the
+        per-query enumeration order, and the block kernels reproduce the
+        per-query kernels bit for bit.
+        """
+        stats = ShardStats()
+        cfg = self.config
+        queries = list(queries)
+        for spectrum in queries:
+            if spectrum.query_id not in hitlists:
+                hitlists[spectrum.query_id] = TopHitList(cfg.tau)
+        if cfg.execution is ExecutionMode.MODELED:
+            self._count_modeled(queries, hitlists, stats)
+            return stats
+        stats.queries_processed += len(queries)
+        stats.sweep_queries += len(queries)
+        if not queries:
+            return stats
+        min_len = cfg.min_candidate_length
+        masses = np.array([q.parent_mass for q in queries], dtype=np.float64)
+        order = np.argsort(masses, kind="stable")
+        lows = masses[order] - self.generator.delta
+        highs = masses[order] + self.generator.delta
+        for a, b in coalesce_windows(lows, highs, cfg.sweep_cohort):
+            members = order[a:b]
+            stats.sweep_cohorts += 1
+            spans, selections = self._cohort_candidates(lows[a:b], highs[a:b])
+            sizes = [len(sel) for sel in selections]
+            n_cohort = sum(sizes)
+            stats.candidates_evaluated += n_cohort
+            if n_cohort == 0:
+                continue
+            # min-length filter for the whole cohort in one pass; the
+            # per-member short counts land in `evaluated` exactly as the
+            # per-query path records skipped-but-offered candidates
+            sel_flat = np.concatenate(selections)
+            mem_flat = np.repeat(np.arange(len(members)), sizes)
+            ok = spans.lengths[sel_flat] >= min_len
+            if not ok.all():
+                shorts = np.bincount(mem_flat[~ok], minlength=len(members))
+                for j, n_short in enumerate(shorts.tolist()):
+                    if n_short:
+                        hitlists[queries[members[j]].query_id].evaluated += n_short
+                sel_flat = sel_flat[ok]
+                mem_flat = mem_flat[ok]
+            if len(sel_flat) == 0:
+                continue
+            kept_counts = np.bincount(mem_flat, minlength=len(members))
+            kept: List[np.ndarray] = np.split(
+                sel_flat, np.cumsum(kept_counts)[:-1]
+            )
+            spectra = SpectrumBatch([queries[m] for m in members])
+            results = self.score_spans_block(spectra, spans, kept)
+            stats.batches += 1
+            # Emit the whole cohort in one pass: a member-major lexsort
+            # whose within-member key order is exactly Hit.sort_key, so
+            # each member's segment head is the same top-tau that
+            # add_batch would select (see TopHitList.add_top_sorted).
+            # Members are emitted in cohort (mass-sorted) order — each
+            # query belongs to exactly one cohort and TopHitList is
+            # order-independent, so emission order cannot affect results.
+            qids = [queries[m].query_id for m in members]
+            stats.rows_scored += sum(d + i for _s, d, i in results)
+            stats.index_rows += sum(i for _s, _d, i in results)
+            mem = mem_flat
+            all_sel = sel_flat
+            all_scores = (
+                np.concatenate([r[0] for r in results])
+                if len(results) > 1
+                else results[0][0]
+            )
+            counts = kept_counts
+            if cfg.score_cutoff is not None and len(all_scores):
+                passing = all_scores >= cfg.score_cutoff
+                fails = np.bincount(mem[~passing], minlength=len(members))
+                for k, n_fail in enumerate(fails.tolist()):
+                    if n_fail:
+                        hitlists[qids[k]].evaluated += n_fail
+                all_sel = all_sel[passing]
+                all_scores = all_scores[passing]
+                mem = mem[passing]
+                counts = np.bincount(mem, minlength=len(members))
+            prot = self.shard.ids[spans.seq_index[all_sel]]
+            c_start = spans.start[all_sel]
+            c_stop = spans.stop[all_sel]
+            c_mass = spans.mass[all_sel]
+            c_mod = spans.mod_delta[all_sel]
+            by_member = np.lexsort(
+                (c_mod, c_stop, c_start, prot, -all_scores, mem)
+            )
+            seg = np.concatenate(([0], np.cumsum(counts)))
+            take = np.minimum(counts, cfg.tau)
+            top = by_member[_ragged_arange(seg[:-1], take)]
+            t_sc = all_scores[top].tolist()
+            t_pr = prot[top].tolist()
+            t_st = c_start[top].tolist()
+            t_sp = c_stop[top].tolist()
+            t_ms = c_mass[top].tolist()
+            t_md = c_mod[top].tolist()
+            bounds = np.concatenate(([0], np.cumsum(take))).tolist()
+            for k, offered in enumerate(counts.tolist()):
+                if not offered:
+                    continue
+                c0, c1 = bounds[k], bounds[k + 1]
+                hitlists[qids[k]].add_top_sorted(
+                    qids[k],
+                    t_sc[c0:c1],
+                    t_pr[c0:c1],
+                    t_st[c0:c1],
+                    t_sp[c0:c1],
+                    t_ms[c0:c1],
+                    t_md[c0:c1],
+                    offered,
+                )
+        return stats
+
+    def _cohort_candidates(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[CandidateSpans, List[np.ndarray]]:
+        """Union candidate block + per-member selections for one cohort.
+
+        Enumerates each modification tier's union window once
+        (:meth:`MassIndex.sweep_spans` over the cohort's merged bounds)
+        and recovers every member's candidate set as index arrays into
+        the block.  Per member, the selected candidates appear in exactly
+        the order ``generator.candidates(query)`` produces: tier-major,
+        prefixes ascending, then deduplicated suffixes ascending — PTM
+        tiers keep that property because the presence filter is a stable
+        subset of the union slice, making each member's filtered range a
+        contiguous run of the kept block.
+        """
+        gen = self.generator
+        idx = gen.index
+        num_members = len(lows)
+        if not gen.modifications:
+            # single-tier fast path: the block is the unmodified union
+            # window and every member selection is exactly two arange
+            # runs (prefixes, then deduplicated suffixes) — build them
+            # all with one ragged arange instead of per-member pairs.
+            p0, p1, s0, s1 = idx.windows_many(lows, highs)
+            first_p, first_s = int(p0[0]), int(s0[0])
+            block, num_pre = idx.sweep_spans(
+                first_p, int(p1[-1]), first_s, int(s1[-1])
+            )
+            if len(block) == 0:
+                return block, [np.empty(0, dtype=np.int64)] * num_members
+            pa = p0 - first_p
+            pb = np.maximum(p1 - first_p, pa)
+            sa = num_pre + (s0 - first_s)
+            sb = np.maximum(num_pre + (s1 - first_s), sa)
+            starts = np.stack((pa, sa), axis=1).ravel()
+            runs = np.stack((pb - pa, sb - sa), axis=1).ravel()
+            sel_flat = _ragged_arange(starts, runs)
+            per_member = (pb - pa) + (sb - sa)
+            return block, np.split(sel_flat, np.cumsum(per_member)[:-1])
+        tier_parts: List[CandidateSpans] = []
+        member_parts: List[List[np.ndarray]] = [[] for _ in range(num_members)]
+        base = 0
+        for mod in (None,) + gen.modifications:
+            shift = mod.delta_mass if mod is not None else 0.0
+            p0, p1, s0, s1 = idx.windows_many(lows - shift, highs - shift)
+            first_p, first_s = int(p0[0]), int(s0[0])
+            block, num_pre = idx.sweep_spans(
+                first_p, int(p1[-1]), first_s, int(s1[-1])
+            )
+            if len(block) == 0:
+                continue
+            pa = p0 - first_p
+            pb = np.maximum(p1 - first_p, pa)
+            sa = num_pre + (s0 - first_s)
+            sb = np.maximum(num_pre + (s1 - first_s), sa)
+            if mod is None:
+                tier = block
+            else:
+                keep = gen.presence_mask(block, mod)
+                kcum = np.concatenate(([0], np.cumsum(keep)))
+                tier = block.take(np.nonzero(keep)[0])
+                tier = replace(tier, mod_delta=np.full(len(tier), mod.delta_mass))
+                pa, pb, sa, sb = kcum[pa], kcum[pb], kcum[sa], kcum[sb]
+                if len(tier) == 0:
+                    continue
+            for k in range(num_members):
+                if pb[k] > pa[k]:
+                    member_parts[k].append(
+                        np.arange(base + pa[k], base + pb[k], dtype=np.int64)
+                    )
+                if sb[k] > sa[k]:
+                    member_parts[k].append(
+                        np.arange(base + sa[k], base + sb[k], dtype=np.int64)
+                    )
+            tier_parts.append(tier)
+            base += len(tier)
+        spans = CandidateSpans.concat(tier_parts)
+        selections = [
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            for parts in member_parts
+        ]
+        return spans, selections
+
+    def score_spans_block(
+        self,
+        spectra: SpectrumBatch,
+        spans: CandidateSpans,
+        selections: Sequence[np.ndarray],
+    ) -> List[Tuple[np.ndarray, int, int]]:
+        """Score a cohort's shared spans; per member
+        ``(scores, direct_rows, index_rows)`` exactly as
+        :meth:`score_spans` reports them.
+
+        The index/direct split is computed per member (a member whose
+        selection holds no indexable candidate goes fully direct, like
+        the per-query path's ``n_index == 0`` case); the index stream is
+        one flat cohort probe, the direct stream one shared overflow
+        batch over the union of non-indexed candidates.
+        """
+        if self.index is None:
+            batch = CandidateBatch.from_spans(self.shard, spans, self._mod_targets)
+            scores = block_scores(self.scorer, spectra, batch, selections)
+            return [
+                (scores[k], batch.selected_row_count(sel), 0)
+                for k, sel in enumerate(selections)
+            ]
+        rows_block = self.index.rows_for(spans)
+        if len(rows_block) == 0 or int(rows_block.min()) >= 0:
+            # Whole block index-served (the common case: no PTM tier and
+            # no over-length span anywhere in the cohort): every member's
+            # use mask would be all-True, the overflow batch empty, and
+            # the scatter an identity copy — skip that bookkeeping.
+            row_sets = [rows_block[sel] for sel in selections]
+            index_scores = self.index.score_block(self.scorer, spectra, row_sets)
+            return [(sc, 0, len(sc)) for sc in index_scores]
+        use_masks = [rows_block[sel] >= 0 for sel in selections]
+        row_sets = [
+            rows_block[sel[use]] for sel, use in zip(selections, use_masks)
+        ]
+        index_scores = self.index.score_block(self.scorer, spectra, row_sets)
+
+        over_sels = [sel[~use] for sel, use in zip(selections, use_masks)]
+        over_union = (
+            np.unique(np.concatenate(over_sels))
+            if any(len(o) for o in over_sels)
+            else np.empty(0, dtype=np.int64)
+        )
+        overflow = CandidateBatch.from_spans(
+            self.shard, spans.take(over_union), self._mod_targets
+        )
+        local_sels = [np.searchsorted(over_union, o) for o in over_sels]
+        direct_scores = block_scores(self.scorer, spectra, overflow, local_sels)
+
+        out: List[Tuple[np.ndarray, int, int]] = []
+        for k, (sel, use) in enumerate(zip(selections, use_masks)):
+            scores = np.empty(len(sel), dtype=np.float64)
+            scores[use] = index_scores[k]
+            scores[~use] = direct_scores[k]
+            out.append(
+                (scores, overflow.selected_row_count(local_sels[k]), int(use.sum()))
+            )
+        return out
 
     def score_spans(self, spectrum: Spectrum, spans) -> tuple:
         """Score candidate ``spans``; returns ``(scores, direct_rows, index_rows)``.
@@ -232,20 +539,27 @@ class ShardSearcher:
             for site in sites
         )
 
+    def count_each(self, queries: Sequence[Spectrum]) -> np.ndarray:
+        """Exact per-query candidate counts (PTM tiers included).
+
+        The shared counting kernel for modeled execution: the no-PTM path
+        is one vectorized window count over the whole batch — no
+        per-query array allocations.
+        """
+        if not queries:
+            return np.empty(0, dtype=np.int64)
+        if self.config.modifications:
+            return np.array([self.generator.count(q) for q in queries], dtype=np.int64)
+        masses = np.array([q.parent_mass for q in queries], dtype=np.float64)
+        return self.generator.count_unmodified_many(masses).astype(np.int64)
+
     def count_for(self, spectrum: Spectrum) -> int:
         """Exact candidate count for one query (PTM tiers included)."""
-        if self.config.modifications:
-            return self.generator.count(spectrum)
-        return int(self.generator.count_unmodified_many(np.array([spectrum.parent_mass]))[0])
+        return int(self.count_each([spectrum])[0])
 
     def count_batch(self, queries: Sequence[Spectrum]) -> int:
-        """Vectorized total candidate count for a query batch (no PTMs path)."""
-        if not queries:
-            return 0
-        if self.config.modifications:
-            return sum(self.generator.count(q) for q in queries)
-        masses = np.array([q.parent_mass for q in queries])
-        return int(self.generator.count_unmodified_many(masses).sum())
+        """Vectorized total candidate count for a query batch."""
+        return int(self.count_each(list(queries)).sum())
 
 
 def search_serial(
@@ -265,7 +579,7 @@ def search_serial(
 
     searcher = ShardSearcher(database, config, library=library)
     hitlists: Dict[int, TopHitList] = {}
-    stats = searcher.search(queries, hitlists)
+    stats = searcher.run(queries, hitlists)
     stats.index_build_time += searcher.index_build_time
     cost = config.cost
     index_fragments = searcher.index.num_fragments if searcher.index is not None else 0
@@ -274,7 +588,7 @@ def search_serial(
         + cost.scan_time(database.nbytes)
         + cost.index_build_time(index_fragments)
         + cost.search_evaluation_time(stats, searcher.scorer)
-        + cost.query_overhead * len(queries)
+        + cost.query_processing_overhead(stats, len(queries))
         + cost.report_time(sum(min(len(h), config.tau) for h in hitlists.values()))
     )
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
@@ -293,6 +607,8 @@ def search_serial(
             "index_probe_fraction": stats.index_rows / stats.rows_scored
             if stats.rows_scored
             else 0.0,
+            "sweep_queries": stats.sweep_queries,
+            "sweep_cohorts": stats.sweep_cohorts,
             "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
         },
     )

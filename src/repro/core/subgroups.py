@@ -30,7 +30,7 @@ from repro.core.algorithm_a import _rank_program as _algorithm_a_program
 from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
-from repro.core.search import ShardSearcher
+from repro.core.search import ShardSearcher, ShardStats
 from repro.errors import ConfigError
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -63,6 +63,9 @@ class _GroupComm:
 
     def index_build(self, seconds: float, detail: str = "") -> None:
         self._comm.index_build(seconds, detail)
+
+    def sweep_setup(self, seconds: float, detail: str = "") -> None:
+        self._comm.sweep_setup(seconds, detail)
 
     def alloc(self, label: str, nbytes: int) -> None:
         self._comm.alloc(label, nbytes)
@@ -148,12 +151,14 @@ def run_subgroups(
     outcomes, summary = cluster.run(program, args)
 
     hits = merge_rank_hits([o.value[0] for o in outcomes], config.tau)
-    candidates = sum(o.value[1] for o in outcomes)
+    totals = ShardStats()
+    for o in outcomes:
+        totals.merge(o.value[1])
     return SearchReport(
         algorithm=f"subgroups_g{num_groups}",
         num_ranks=num_ranks,
         hits=hits,
-        candidates_evaluated=candidates,
+        candidates_evaluated=totals.candidates_evaluated,
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},

@@ -93,7 +93,7 @@ def run_mpi_search(
             recv_req = comm.irecv(bytearray(1 << 24), source=right, tag=11)
         shard = ProteinDatabase.from_buffers(*held_wire)
         searcher = ShardSearcher(shard, config)
-        stats = searcher.search(my_queries, hitlists)
+        stats = searcher.run(my_queries, hitlists)
         candidates += stats.candidates_evaluated
         if size > 1:
             held_wire = recv_req.wait()

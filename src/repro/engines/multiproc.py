@@ -147,9 +147,12 @@ def _worker(task: _TaskWire) -> Tuple[int, Dict[int, List[Hit]], ShardStats]:
     searcher, built = _cached_searcher(shard_id)
     queries = _cached_queries(block_id)
     hitlists: Dict[int, TopHitList] = {}
-    stats = searcher.search(queries, hitlists)
+    stats = searcher.run(queries, hitlists)
     stats.index_build_time += built
-    hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+    # Blocks travel mass-sorted (sweep locality); emit hits in the
+    # caller's original query order so output is independent of the sort.
+    order = _TASK_CONTEXT["block_qids"][block_id]
+    hits = {qid: hitlists[qid].sorted_hits() for qid in order}
     return task_id, hits, stats
 
 
@@ -293,11 +296,18 @@ def run_multiprocess_search(
     shards = [s for s in partition_database(database, nshards) if len(s) > 0]
     nblocks = min(query_blocks, len(queries)) or 1
     blocks = partition_queries(list(queries), nblocks)
+    # Pack each block sorted by precursor mass (stable): the sweep path
+    # coalesces more cohorts from mass-adjacent queries, and the per-query
+    # path is order-insensitive.  The original per-block query order is
+    # kept alongside so workers emit hits in caller order.
+    block_qids = [[q.query_id for q in block] for block in blocks]
+    blocks = [sorted(block, key=lambda q: q.parent_mass) for block in blocks]
     shard_wires = [shard.to_buffers() for shard in shards]
     block_wires = [[_pack_spectrum(q) for q in block] for block in blocks]
     context: Dict[str, Any] = {
         "shard_wires": shard_wires,
         "query_blocks": block_wires,
+        "block_qids": block_qids,
         "config": config,
         "injector": fault_injector,
     }
@@ -413,6 +423,8 @@ def run_multiprocess_search(
             "index_rows": index_rows,
             "index_build_time": stats.index_build_time,
             "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
+            "sweep_queries": stats.sweep_queries,
+            "sweep_cohorts": stats.sweep_cohorts,
             "candidates_per_second": candidates / wall if wall > 0 else 0.0,
             "bytes_shipped": context_bytes + bytes_tasks,
             "bytes_shipped_setup": context_bytes,

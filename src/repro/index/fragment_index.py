@@ -69,6 +69,34 @@ def _ragged_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return np.repeat(starts, lengths) + ramp
 
 
+def _bisect_segments(
+    values: np.ndarray, lo: np.ndarray, hi: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Vectorized left-bisection of ``targets[i]`` within ``values[lo[i]:hi[i]]``.
+
+    Equivalent to ``lo[i] + np.searchsorted(values[lo[i]:hi[i]], targets[i],
+    side="left")`` for each ``i``, but all bisections advance in lockstep —
+    ``O(log(max segment))`` numpy passes instead of one Python-level
+    ``searchsorted`` per segment, and each pass touches a short segment
+    rather than the full ``values`` array.
+    """
+    lo = lo.copy()
+    hi = hi.copy()
+    if not len(lo):
+        return lo
+    # branchless lockstep for exactly ceil(log2(max segment + 1)) rounds:
+    # finished lanes keep lo == hi (their mid gather is clamped and the
+    # update masked out), which benchmarks ~2x faster than compacting
+    # the active set each round.
+    for _ in range(int(int((hi - lo).max()).bit_length())):
+        active = lo < hi
+        mid = (lo + hi) >> 1
+        less = active & (values.take(mid, mode="clip") < targets)
+        lo = np.where(less, mid + 1, lo)
+        hi = np.where(active & ~less, mid, hi)
+    return lo
+
+
 @dataclass(frozen=True)
 class _PostingList:
     """Fragments sorted by the combined ``bin * (num_rows + 1) + row`` key.
@@ -83,12 +111,19 @@ class _PostingList:
     mz: np.ndarray  # float64 fragment m/z, aligned to key
     row: np.ndarray  # int64 candidate row, aligned to key
     series: Optional[np.ndarray]  # uint8 series code, or None (ladder list)
+    #: direct bin → posting-offset table: postings of bin ``b`` occupy
+    #: ``key[bin_start[b]:bin_start[b + 1]]``.  Lets cohort-scale probes
+    #: skip the key binary search entirely and bisect only each bin's own
+    #: row run (:func:`_bisect_segments`).
+    bin_start: np.ndarray = None  # type: ignore[assignment]
 
     @property
     def nbytes(self) -> int:
         total = self.key.nbytes + self.mz.nbytes + self.row.nbytes
         if self.series is not None:
             total += self.series.nbytes
+        if self.bin_start is not None:
+            total += self.bin_start.nbytes
         return int(total)
 
 
@@ -199,7 +234,9 @@ class FragmentIndex:
         parts = [(m, r, s) for m, r, s in parts if m.size]
         if not parts:
             empty = np.empty(0, dtype=np.int64)
-            return _PostingList(empty, np.empty(0), empty, None)
+            return _PostingList(
+                empty, np.empty(0), empty, None, np.zeros(1, dtype=np.int64)
+            )
         mz = np.concatenate([m.ravel() for m, _r, _s in parts])
         row = np.concatenate(
             [np.repeat(r, m.shape[1]) for m, r, _s in parts]
@@ -215,11 +252,16 @@ class FragmentIndex:
         bins = (mz / self.bin_width).astype(np.int64)
         key = bins * (self.num_rows + 1) + row
         order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        bins_sorted = sorted_key // (self.num_rows + 1)
+        num_bins = int(bins_sorted[-1]) + 1
+        bin_start = np.searchsorted(bins_sorted, np.arange(num_bins + 1))
         return _PostingList(
-            key[order],
+            sorted_key,
             mz[order],
             row[order],
             series[order] if series is not None else None,
+            bin_start,
         )
 
     @property
@@ -298,18 +340,102 @@ class FragmentIndex:
         )
         if len(rows) == 0 or len(peaks_mz) == 0 or len(postings.key) == 0:
             return empty
-        num_rows = self.num_rows
         r0 = int(rows.min())
         r1 = int(rows.max()) + 1
         sel = np.full(r1 - r0, -1, dtype=np.int64)
         sel[rows - r0] = np.arange(len(rows), dtype=np.int64)
 
+        row_g, owner, series = self._probe_range(postings, peaks_mz, tolerance, r0, r1)
+        out_pos = sel[row_g - r0]
+        hit = out_pos >= 0
+        return (
+            out_pos[hit],
+            owner[hit],
+            series[hit] if none_series else None,
+        )
+
+    def _probe_range(
+        self,
+        postings: _PostingList,
+        peaks_mz: np.ndarray,
+        tolerance: float,
+        r0: int,
+        r1: int,
+        row_lo: Optional[np.ndarray] = None,
+        row_hi: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Exact fragment matches with rows restricted to ``[r0, r1)``.
+
+        The binning/searchsorted core shared by the per-query probe
+        (which remaps rows through its selection table) and the flat
+        cohort probe.  Returns ``(row, peak_idx, series)`` with *global*
+        index rows; the match predicate is the scalar one.
+
+        ``row_lo``/``row_hi`` optionally narrow the row range *per peak*
+        (half-open, same binned-key trick as the scalar bounds): the
+        cohort probe passes each peak's own member row range so a wide
+        cohort union does not multiply the raw match volume by the
+        cohort size.  Matches outside a member's row *set* but inside
+        its range are still produced, exactly as in the scalar case, and
+        are removed by the callers' selection tables.
+        """
+        none_series = postings.series is not None
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8) if none_series else None,
+        )
+        num_rows = self.num_rows
         pmin = peaks_mz - tolerance
         pmax = peaks_mz + tolerance
         b0 = np.maximum(np.floor(pmin / self.bin_width).astype(np.int64), 0)
         b1 = np.floor(pmax / self.bin_width).astype(np.int64)
         span = b1 - b0
         peak_ids = np.arange(len(peaks_mz), dtype=np.int64)
+        if row_lo is not None and postings.bin_start is not None and len(span):
+            # Cohort-scale probe: go through the direct bin → offset table
+            # instead of the per-delta key searches.  Positions are
+            # identical: within bin b the keys are
+            # ``b * (num_rows + 1) + row`` with row ascending, so the key
+            # search for ``b * (num_rows + 1) + t`` is ``bin_start[b]``
+            # plus the left-bisection of ``t`` in that bin's row run;
+            # bins past the table's end hold no postings and contribute
+            # nothing, exactly like both key searches landing at
+            # ``len(key)``.
+            bin_start = postings.bin_start
+            num_bins = len(bin_start) - 1
+            counts = span + 1  # b1 >= b0 always: pmax > 0 and b0 clipped at 0
+            all_bins = _ragged_arange(b0, counts)
+            owners = np.repeat(peak_ids, counts)
+            valid = all_bins < num_bins
+            if not valid.all():
+                all_bins = all_bins[valid]
+                owners = owners[valid]
+            if len(all_bins) == 0:
+                return empty
+            seg_lo = bin_start[all_bins]
+            seg_hi = bin_start[all_bins + 1]
+            m = len(all_bins)
+            pos = _bisect_segments(
+                postings.row,
+                np.concatenate((seg_lo, seg_lo)),
+                np.concatenate((seg_hi, seg_hi)),
+                np.concatenate((row_lo[owners], row_hi[owners])),
+            )
+            lens = pos[m:] - pos[:m]
+            flat = _ragged_arange(pos[:m], lens)
+            if len(flat) == 0:
+                return empty
+            owner = np.repeat(owners, lens)
+            mz = postings.mz[flat]
+            keep = (mz >= pmin[owner]) & (mz <= pmax[owner])
+            flat = flat[keep]
+            owner = owner[keep]
+            return (
+                postings.row[flat],
+                owner,
+                postings.series[flat] if none_series else None,
+            )
         flat_parts = []
         owner_parts = []
         max_span = int(span.max()) if len(span) else -1
@@ -318,8 +444,10 @@ class FragmentIndex:
             if not covered.any():
                 break
             bins = b0[covered] + delta
-            lo = np.searchsorted(postings.key, bins * (num_rows + 1) + r0, side="left")
-            hi = np.searchsorted(postings.key, bins * (num_rows + 1) + r1, side="left")
+            lo_key = bins * (num_rows + 1) + (r0 if row_lo is None else row_lo[covered])
+            hi_key = bins * (num_rows + 1) + (r1 if row_hi is None else row_hi[covered])
+            lo = np.searchsorted(postings.key, lo_key, side="left")
+            hi = np.searchsorted(postings.key, hi_key, side="left")
             lens = hi - lo
             flat_parts.append(_ragged_arange(lo, lens))
             owner_parts.append(np.repeat(peak_ids[covered], lens))
@@ -333,12 +461,10 @@ class FragmentIndex:
         keep = (mz >= pmin[owner]) & (mz <= pmax[owner])
         flat = flat[keep]
         owner = owner[keep]
-        out_pos = sel[postings.row[flat] - r0]
-        hit = out_pos >= 0
         return (
-            out_pos[hit],
-            owner[hit],
-            postings.series[flat][hit] if none_series else None,
+            postings.row[flat],
+            owner,
+            postings.series[flat] if none_series else None,
         )
 
     def shared_peak_counts(
@@ -399,3 +525,171 @@ class FragmentIndex:
         )
         counts = np.diff(row_offsets).astype(np.int64)
         return counts, row_segment_sums(observed_intensity, flat_idx, row_offsets)
+
+    # -- cohort (block) probes -------------------------------------------
+    #
+    # The candidate-major sweep probes the posting lists once per query
+    # cohort: all member peaks in one flat pass over the union row range,
+    # results then split per member.  Each member's (row, peak) match set
+    # is identical to its own per-query probe — the probe predicate is
+    # per-(peak, fragment) and the per-member selection tables are the
+    # same — so the counts and (via row-wise segment sums over bitwise-
+    # equal gathered values) intensity sums are bitwise identical.
+
+    def _probe_flat(
+        self,
+        postings: _PostingList,
+        batch,
+        tolerance: float,
+        row_sets,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """All exact matches of a cohort's peaks against its row sets.
+
+        ``batch`` is a :class:`~repro.spectra.spectrum_batch.SpectrumBatch`
+        and ``row_sets[k]`` the index rows member ``k`` may match.
+        Returns ``(member, out_pos, peak_flat, series)`` per matching
+        posting: ``out_pos`` indexes into ``row_sets[member]`` and
+        ``peak_flat`` into the batch's flat peak arrays.
+        """
+        none_series = postings.series is not None
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8) if none_series else None,
+        )
+        sizes = np.fromiter((len(r) for r in row_sets), dtype=np.int64, count=len(row_sets))
+        if sizes.sum() == 0 or batch.num_peaks == 0 or len(postings.key) == 0:
+            return empty
+        r0 = int(min(int(r.min()) for r in row_sets if len(r)))
+        r1 = int(max(int(r.max()) for r in row_sets if len(r))) + 1
+        sel = np.full((len(row_sets), r1 - r0), -1, dtype=np.int64)
+        member_lo = np.zeros(len(row_sets), dtype=np.int64)
+        member_hi = np.zeros(len(row_sets), dtype=np.int64)
+        for k, rows in enumerate(row_sets):
+            if len(rows):
+                sel[k, rows - r0] = np.arange(len(rows), dtype=np.int64)
+                member_lo[k] = int(rows.min())
+                member_hi[k] = int(rows.max()) + 1
+
+        # each peak probes only its own member's row range: the cohort
+        # union would multiply raw matches by the cohort size, all of
+        # them discarded by the sel filter below
+        npk = np.diff(batch.offsets)
+        row_g, peak_flat, series = self._probe_range(
+            postings,
+            batch.mz,
+            tolerance,
+            r0,
+            r1,
+            row_lo=np.repeat(member_lo, npk),
+            row_hi=np.repeat(member_hi, npk),
+        )
+        if len(row_g) == 0:
+            return empty
+        member = np.searchsorted(batch.offsets, peak_flat, side="right") - 1
+        out_pos = sel[member, row_g - r0]
+        hit = out_pos >= 0
+        return (
+            member[hit],
+            out_pos[hit],
+            peak_flat[hit],
+            series[hit] if none_series else None,
+        )
+
+    def _split_pairs(
+        self, member, out_pos, peak_flat, batch, sizes
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dedup (member, row, peak) matches into sorted distinct pairs.
+
+        Encodes each match as ``pair_base[member] + out_pos * npk[member]
+        + local_peak`` — spectrum-major, then row, then peak — so one
+        ``np.unique`` reproduces, member by member, exactly the sorted
+        distinct pairs the per-query probes produce.  Returns
+        ``(pair_member, pair_row, pair_peak, pair_base, npk)`` with
+        ``pair_peak`` member-local.
+        """
+        npk = np.diff(batch.offsets)
+        pair_base = np.concatenate(([0], np.cumsum(sizes * npk)))
+        local_peak = peak_flat - batch.offsets[member]
+        key = np.unique(pair_base[member] + out_pos * npk[member] + local_peak)
+        pair_member = np.searchsorted(pair_base, key, side="right") - 1
+        rem = key - pair_base[pair_member]
+        return (
+            pair_member,
+            rem // npk[pair_member],
+            rem % npk[pair_member],
+            pair_base,
+            npk,
+        )
+
+    def shared_peak_counts_block(self, batch, tolerance: float, row_sets):
+        """Per-member :meth:`shared_peak_counts` from one flat probe."""
+        sizes = [len(r) for r in row_sets]
+        member, out_pos, peak_flat, _series = self._probe_flat(
+            self._ladder_postings, batch, tolerance, row_sets
+        )
+        if len(member) == 0:
+            return [np.zeros(n, dtype=np.int64) for n in sizes]
+        pair_member, pair_row, _pk, _base, _npk = self._split_pairs(
+            member, out_pos, peak_flat, batch, np.asarray(sizes, dtype=np.int64)
+        )
+        bounds = np.searchsorted(pair_member, np.arange(len(row_sets) + 1))
+        return [
+            np.bincount(pair_row[bounds[k] : bounds[k + 1]], minlength=n).astype(np.int64)
+            for k, n in enumerate(sizes)
+        ]
+
+    def matched_intensity_block(self, batch, tolerance: float, row_sets):
+        """Per-member b/y :meth:`matched_intensity` from one flat probe.
+
+        Returns one ``(nb, b_int, ny, y_int)`` tuple per member.  Both
+        series come out of a single posting probe; each series' intensity
+        sums run through one cohort-wide :func:`row_segment_sums` whose
+        per-row gathered values equal the member's own peaks bit for bit.
+        """
+        sizes = np.fromiter((len(r) for r in row_sets), dtype=np.int64, count=len(row_sets))
+        row_base = np.concatenate(([0], np.cumsum(sizes)))
+        total_rows = int(row_base[-1])
+        member, out_pos, peak_flat, tags = self._probe_flat(
+            self._series_postings, batch, tolerance, row_sets
+        )
+        per_series = {}
+        for name, code in _SERIES_CODE.items():
+            wanted = tags == code if len(member) else np.empty(0, dtype=bool)
+            if not np.any(wanted):
+                counts = np.zeros(total_rows, dtype=np.int64)
+                sums = np.zeros(total_rows, dtype=np.float64)
+            else:
+                pair_member, pair_row, pair_peak, _base, _npk = self._split_pairs(
+                    member[wanted], out_pos[wanted], peak_flat[wanted], batch, sizes
+                )
+                grow = row_base[pair_member] + pair_row
+                counts = np.bincount(grow, minlength=total_rows).astype(np.int64)
+                row_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+                flat_peak = (batch.offsets[pair_member] + pair_peak).astype(np.int64)
+                sums = row_segment_sums(batch.intensity, flat_peak, row_offsets)
+            per_series[name] = (counts, sums)
+        out = []
+        for k in range(len(row_sets)):
+            lo, hi = int(row_base[k]), int(row_base[k + 1])
+            nb, b_int = per_series["b"]
+            ny, y_int = per_series["y"]
+            out.append((nb[lo:hi], b_int[lo:hi], ny[lo:hi], y_int[lo:hi]))
+        return out
+
+    def score_block(self, scorer, spectra, row_sets):
+        """Index-served cohort scoring: dispatch to the scorer's block kernel.
+
+        Scorers with a ``score_index_block`` (posting-served models) get
+        the one-probe path; others run their per-query ``score_index``
+        member by member — still amortizing the cohort's candidate
+        enumeration, and bitwise identical either way.
+        """
+        impl = getattr(scorer, "score_index_block", None)
+        if impl is not None:
+            return impl(spectra, self, row_sets)
+        return [
+            scorer.score_index(spectra.spectra[k], self, np.asarray(rows, dtype=np.int64))
+            for k, rows in enumerate(row_sets)
+        ]

@@ -11,12 +11,13 @@ attribute a per-candidate compute cost ``rho`` that differs by scorer.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.candidates.batch import CandidateBatch
+from repro.candidates.batch import CandidateBatch, LengthGroup
 from repro.spectra.spectrum import Spectrum
+from repro.spectra.spectrum_batch import SpectrumBatch
 
 
 @runtime_checkable
@@ -106,3 +107,89 @@ def batch_scores(
     if impl is not None:
         return impl(spectrum, batch)
     return score_batch_fallback(scorer, spectrum, batch)
+
+
+# -- multi-spectrum (cohort) scoring ------------------------------------
+#
+# The candidate-major sweep scores one shared CandidateBatch against a
+# whole SpectrumBatch of queries whose precursor windows overlap.  The
+# bitwise contract carries over because every per-length preparation
+# (ladder matrices, fragment m/z rows, model spectra) is a *row-wise*
+# product of the group's residue matrix: preparing the cohort's rows once
+# and gathering each query's subset with ``prep[local]`` yields the exact
+# rows a per-query batch would have built, and every kernel below reduces
+# along the last axis only.
+
+
+def score_block_groups(
+    scorer: Scorer,
+    spectra: SpectrumBatch,
+    batch: CandidateBatch,
+    selections: Sequence[np.ndarray],
+    default: float,
+    prepare: Callable[[LengthGroup], Optional[object]],
+    kernel: Callable[[Spectrum, object, np.ndarray], np.ndarray],
+) -> List[np.ndarray]:
+    """Shared driver for per-scorer ``score_block`` implementations.
+
+    ``selections[k]`` lists the candidate indices (into ``batch``) that
+    query ``k`` owns.  ``prepare`` runs ONCE per length group for the
+    whole cohort (returning ``None`` marks the group unscoreable, leaving
+    its rows at ``default`` — e.g. length < 2); ``kernel(spectrum, prep,
+    local_rows)`` scores the selected rows of a prepared group against
+    one member spectrum.  Returns per-query candidate scores, each
+    bitwise identical to ``score_batch`` on that query's own batch.
+    """
+    groups = batch.length_groups()
+    preps = [prepare(group) for group in groups]
+    row_group, row_local = batch.group_positions()
+    out: List[np.ndarray] = []
+    for k, sel in enumerate(selections):
+        sel = np.asarray(sel, dtype=np.int64)
+        if len(sel) == 0:
+            out.append(np.empty(0, dtype=np.float64))
+            continue
+        rows = batch.rows_of(sel)
+        row_scores = np.full(len(rows), default, dtype=np.float64)
+        gid = row_group[rows]
+        spectrum = spectra.spectra[k]
+        for g, prep in enumerate(preps):
+            if prep is None:
+                continue
+            pos = np.nonzero(gid == g)[0]
+            if len(pos):
+                row_scores[pos] = kernel(spectrum, prep, row_local[rows[pos]])
+        out.append(batch.reduce_selected(row_scores, sel))
+    return out
+
+
+def score_block_fallback(
+    scorer: Scorer,
+    spectra: SpectrumBatch,
+    batch: CandidateBatch,
+    selections: Sequence[np.ndarray],
+) -> List[np.ndarray]:
+    """Block oracle: score each query's sub-batch through ``batch_scores``.
+
+    Used by scorers without a ``score_block`` kernel; also the reference
+    the vectorized block kernels must match bitwise.
+    """
+    return [
+        batch_scores(scorer, spectra.spectra[k], batch.take(np.asarray(sel, dtype=np.int64)))
+        for k, sel in enumerate(selections)
+    ]
+
+
+def block_scores(
+    scorer: Scorer,
+    spectra: SpectrumBatch,
+    batch: CandidateBatch,
+    selections: Sequence[np.ndarray],
+) -> List[np.ndarray]:
+    """Dispatch to a scorer's ``score_block``, or the per-query fallback."""
+    if len(batch) == 0:
+        return [np.empty(0, dtype=np.float64) for _ in selections]
+    impl = getattr(scorer, "score_block", None)
+    if impl is not None:
+        return impl(spectra, batch, selections)
+    return score_block_fallback(scorer, spectra, batch, selections)

@@ -12,14 +12,13 @@ evaluation order — the property the paper's validation experiment
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
 
 import numpy as np
 
 
-@dataclass(frozen=True, order=False)
-class Hit:
+class Hit(NamedTuple):
     """One candidate match reported for a query.
 
     Candidates are prefixes or suffixes of database sequences (paper
@@ -27,11 +26,16 @@ class Hit:
     id plus the residue span ``[start, stop)`` within it.  ``mod_delta``
     carries the total variable-PTM mass applied, 0.0 for unmodified.
 
-    ``mass`` is informational and excluded from equality: span masses are
-    computed from per-shard cumulative sums, so the same span reached via
-    different database partitionings can differ in the last float bits.
-    Scores do not share this caveat — they are recomputed from the raw
-    residues and are bitwise partition-independent.
+    ``mass`` is informational and excluded from equality (custom
+    ``__eq__``/``__hash__`` below): span masses are computed from
+    per-shard cumulative sums, so the same span reached via different
+    database partitionings can differ in the last float bits.  Scores do
+    not share this caveat — they are recomputed from the raw residues
+    and are bitwise partition-independent.
+
+    A tuple subclass (not a dataclass) because hot search loops create
+    one instance per retained hit: ``tuple.__new__`` is several times
+    cheaper than a frozen dataclass ``__init__``.
     """
 
     query_id: int
@@ -39,7 +43,7 @@ class Hit:
     protein_id: int
     start: int
     stop: int
-    mass: float = field(compare=False)
+    mass: float
     mod_delta: float = 0.0
 
     def sort_key(self) -> Tuple[float, int, int, int, float]:
@@ -50,6 +54,34 @@ class Hit:
     def length(self) -> int:
         return self.stop - self.start
 
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Hit:
+            return (
+                self.query_id == other.query_id
+                and self.score == other.score
+                and self.protein_id == other.protein_id
+                and self.start == other.start
+                and self.stop == other.stop
+                and self.mod_delta == other.mod_delta
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.query_id,
+                self.score,
+                self.protein_id,
+                self.start,
+                self.stop,
+                self.mod_delta,
+            )
+        )
+
 
 class TopHitList:
     """Bounded container keeping the tau best hits for one query.
@@ -59,7 +91,7 @@ class TopHitList:
     order.
     """
 
-    __slots__ = ("tau", "_heap", "_counter", "evaluated")
+    __slots__ = ("tau", "_heap", "_pending", "_counter", "evaluated")
 
     def __init__(self, tau: int):
         if tau < 1:
@@ -69,6 +101,12 @@ class TopHitList:
         # whose root is the currently-worst retained hit, so we store
         # inverted keys: tuples that compare smaller for worse hits.
         self._heap: List[Tuple[Tuple, Hit]] = []
+        # columnar fast path: the first batch's retained top-tau parks
+        # here as plain lists (query_id, scores, proteins, starts, stops,
+        # masses, mod_deltas, best_first) and only becomes Hit objects
+        # when something actually needs them — a later batch, a scalar
+        # add, or sorted_hits.  Invariant: _pending implies empty _heap.
+        self._pending = None
         self.evaluated = 0  #: total candidates offered (for candidates/sec metrics)
 
     @staticmethod
@@ -80,9 +118,24 @@ class TopHitList:
         k = hit.sort_key()
         return (-k[0], -k[1], -k[2], -k[3], -k[4])
 
+    def _materialize(self) -> None:
+        """Turn a parked columnar batch into real heap entries."""
+        parked = self._pending
+        if parked is None:
+            return
+        self._pending = None
+        qid, sc, pr, st, sp, ms, md, _best_first = parked
+        new = tuple.__new__
+        self._heap = [
+            ((a, -b, -c, -d, -e), new(Hit, (qid, a, b, c, d, f, e)))
+            for a, b, c, d, f, e in zip(sc, pr, st, sp, ms, md)
+        ]
+        heapq.heapify(self._heap)
+
     def add(self, hit: Hit) -> bool:
         """Offer a hit; returns True if retained in the top tau."""
         self.evaluated += 1
+        self._materialize()
         return self._push(hit)
 
     def _push(self, hit: Hit) -> bool:
@@ -109,44 +162,102 @@ class TopHitList:
 
         The retained set is *provably identical* to offering the
         candidates one at a time through :meth:`add`, but Hit objects are
-        only materialised for the few that can still matter:
+        only materialised for the at-most-tau that can still matter:
 
         * candidates scoring strictly below the currently-worst retained
           hit (with a full list) can never enter — ties are kept, because
           the structural tie-break may still admit them;
-        * if more than tau survivors remain, a candidate scoring strictly
-          below the batch's tau-th highest score is evicted by those tau
-          better batch members no matter the offer order, so only
-          ``score >= tau-th highest`` survivors (ties again kept) are
-          pushed.
+        * of the survivors, only the batch's top tau under the *full*
+          total order (:meth:`Hit.sort_key`, computed by one vectorized
+          lexsort) are pushed: any other survivor is outranked by tau
+          batch-mates, each of which either stays retained or is evicted
+          by something better still — so it can never end in the top tau
+          no matter the offer order or prior heap contents.
 
         Survivors go through the same deterministic heap as the scalar
-        path, in candidate order, so tie resolution is unchanged.
+        path; the heap's outcome is order-independent (total order, no
+        duplicate keys within a batch), so tie resolution is unchanged.
         """
         n = len(scores)
-        self.evaluated += n
         if n == 0:
+            self.evaluated += n
             return 0
         idx = np.arange(n)
         if len(self._heap) >= self.tau:
             idx = idx[scores >= self._heap[0][1].score]
         if len(idx) > self.tau:
-            kept = scores[idx]
-            threshold = np.partition(kept, len(kept) - self.tau)[len(kept) - self.tau]
-            idx = idx[kept >= threshold]
-        retained = 0
-        for i in idx:
-            i = int(i)
-            hit = Hit(
-                query_id=query_id,
-                score=float(scores[i]),
-                protein_id=int(protein_ids[i]),
-                start=int(starts[i]),
-                stop=int(stops[i]),
-                mass=float(masses[i]),
-                mod_delta=float(mod_deltas[i]),
+            order = np.lexsort(
+                (
+                    mod_deltas[idx],
+                    stops[idx],
+                    starts[idx],
+                    protein_ids[idx],
+                    -scores[idx],
+                )
             )
-            if self._push(hit):
+            idx = idx[order[: self.tau]]
+        return self.add_top_sorted(
+            query_id,
+            scores[idx].tolist(),
+            protein_ids[idx].tolist(),
+            starts[idx].tolist(),
+            stops[idx].tolist(),
+            masses[idx].tolist(),
+            mod_deltas[idx].tolist(),
+            n,
+            best_first=len(idx) > self.tau,
+        )
+
+    def add_top_sorted(
+        self,
+        query_id: int,
+        scores: list,
+        protein_ids: list,
+        starts: list,
+        stops: list,
+        masses: list,
+        mod_deltas: list,
+        offered: int,
+        best_first: bool = True,
+    ) -> int:
+        """Offer a batch represented by its pre-selected top tau.
+
+        The column lists hold the batch's top ``min(tau, n)`` candidates
+        under the full total order (:meth:`Hit.sort_key`) — exactly the
+        selection :meth:`add_batch` computes internally, so the outcome
+        is identical to offering the whole batch (see the eviction
+        argument there).  ``offered`` is the full batch size, counted
+        into ``evaluated``; ``best_first`` records whether the columns
+        are sorted best-first (they are whenever a top-tau truncation
+        actually happened), which lets :meth:`sorted_hits` skip its
+        final sort.  Used by the candidate-major sweep, which performs
+        the top-tau selection for a whole cohort in one vectorized pass.
+
+        On the first batch for a query the columns are parked as-is and
+        Hit objects are not built at all until something needs them —
+        the common serial case materializes exactly once, in
+        :meth:`sorted_hits`, already in output order.
+        """
+        self.evaluated += offered
+        if not self._heap:
+            if self._pending is None:
+                self._pending = (
+                    query_id,
+                    scores,
+                    protein_ids,
+                    starts,
+                    stops,
+                    masses,
+                    mod_deltas,
+                    best_first,
+                )
+                return len(scores)
+            self._materialize()
+        retained = 0
+        new = tuple.__new__
+        for row in zip(scores, protein_ids, starts, stops, masses, mod_deltas):
+            sc, pr, st, sp, ms, md = row
+            if self._push(new(Hit, (query_id, sc, pr, st, sp, ms, md))):
                 retained += 1
         return retained
 
@@ -157,15 +268,28 @@ class TopHitList:
         must still go through :meth:`add` for deterministic resolution,
         so this returns True on equality.
         """
+        self._materialize()
         if len(self._heap) < self.tau:
             return True
         return score >= self._heap[0][1].score
 
     def __len__(self) -> int:
+        if self._pending is not None:
+            return len(self._pending[1])
         return len(self._heap)
 
     def sorted_hits(self) -> List[Hit]:
         """Retained hits, best first, deterministic order."""
+        if self._pending is not None:
+            qid, sc, pr, st, sp, ms, md, best_first = self._pending
+            new = tuple.__new__
+            hits = [
+                new(Hit, (qid, a, b, c, d, f, e))
+                for a, b, c, d, f, e in zip(sc, pr, st, sp, ms, md)
+            ]
+            # a parked batch sorted best-first is already in output
+            # order (same total order as sort_key, no duplicate keys)
+            return hits if best_first else sorted(hits, key=Hit.sort_key)
         return sorted((h for _k, h in self._heap), key=Hit.sort_key)
 
     def merge(self, other: "TopHitList") -> None:
@@ -173,6 +297,7 @@ class TopHitList:
         if other.tau != self.tau:
             raise ValueError(f"tau mismatch: {self.tau} vs {other.tau}")
         evaluated = self.evaluated + other.evaluated
+        other._materialize()
         for _k, hit in other._heap:
             self.add(hit)
         self.evaluated = evaluated  # merging is not re-evaluating

@@ -134,3 +134,52 @@ class HyperScorer:
         ln = np.log(dot[valid]) + table[nb[valid]] + table[ny[valid]]
         out[valid] = ln / _LOG10
         return out
+
+    @staticmethod
+    def _finalize(nb, b_int, ny, y_int):
+        """Counts and sums -> log10 hyperscore (the batched arithmetic)."""
+        out = np.full(len(nb), -math.inf)
+        dot = b_int + y_int
+        valid = np.nonzero((dot > 0.0) & ((nb > 0) | (ny > 0)))[0]
+        if len(valid) == 0:
+            return out
+        table = _lgamma_factorial(int(max(nb.max(), ny.max())))
+        ln = np.log(dot[valid]) + table[nb[valid]] + table[ny[valid]]
+        out[valid] = ln / _LOG10
+        return out
+
+    def score_block(self, spectra, batch: CandidateBatch, selections):
+        """Cohort scoring: fragment matrices built once per length group."""
+        from repro.scoring.base import score_block_groups
+
+        def prepare(group):
+            masses = group.mass_rows()
+            return (
+                fragment_mz_rows(masses, IonSeries.B),
+                fragment_mz_rows(masses, IonSeries.Y),
+            )
+
+        def kernel(spectrum, prep, local):
+            if spectrum.num_peaks == 0:
+                return np.full(len(local), -math.inf)
+            b_rows, y_rows = prep
+            mz = np.ascontiguousarray(spectrum.mz)
+            intensity = np.ascontiguousarray(spectrum.intensity)
+            nb, b_int = matched_intensity_rows(
+                mz, intensity, b_rows[local], self.fragment_tolerance
+            )
+            ny, y_int = matched_intensity_rows(
+                mz, intensity, y_rows[local], self.fragment_tolerance
+            )
+            return self._finalize(nb, b_int, ny, y_int)
+
+        return score_block_groups(self, spectra, batch, selections, -math.inf, prepare, kernel)
+
+    def score_index_block(self, spectra, index, row_sets):
+        """Index-served cohort scoring: one flat b/y probe for all queries."""
+        return [
+            self._finalize(nb, b_int, ny, y_int)
+            for nb, b_int, ny, y_int in index.matched_intensity_block(
+                spectra, self.fragment_tolerance, row_sets
+            )
+        ]

@@ -168,6 +168,34 @@ class LikelihoodRatioScorer:
                 )
         return batch.reduce_rows(out)
 
+    def score_block(self, spectra, batch: CandidateBatch, selections):
+        """Cohort scoring: model spectra generated once per length group.
+
+        Library-backed scoring needs per-candidate lookups, so it routes
+        through the per-query block fallback (itself the scalar oracle).
+        """
+        from repro.scoring.base import score_block_fallback, score_block_groups
+
+        if self.library is not None:
+            return score_block_fallback(self, spectra, batch, selections)
+
+        def prepare(group):
+            if group.length < 2:
+                return None  # empty model spectrum, score stays -inf
+            return theoretical_spectrum_rows(group.mass_rows())
+
+        def kernel(spectrum, prep, local):
+            if spectrum.num_peaks == 0:
+                return np.full(len(local), -math.inf)
+            model_mz, model_int = prep
+            p0 = self._chance_match_probability(spectrum)
+            observed = np.ascontiguousarray(spectrum.mz)
+            return self._model_rows_scores(
+                observed, p0, model_mz[local], model_int[local]
+            )
+
+        return score_block_groups(self, spectra, batch, selections, -math.inf, prepare, kernel)
+
     def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
         """Index-served scoring; bitwise identical to :meth:`score_batch`.
 

@@ -60,3 +60,26 @@ class SharedPeakScorer:
         return index.shared_peak_counts(
             spectrum.mz, self.fragment_tolerance, rows
         ).astype(np.float64)
+
+    def score_block(self, spectra, batch: CandidateBatch, selections):
+        """Cohort scoring: ladders built once, queries share the matrices."""
+        from repro.scoring.base import score_block_groups
+
+        def prepare(group):
+            if group.length < 2:
+                return None  # empty ladder matches nothing, score stays 0.0
+            return by_ion_ladder_rows(group.mass_rows())
+
+        def kernel(spectrum, ladders, local):
+            return count_matches_rows(spectrum.mz, ladders[local], self.fragment_tolerance)
+
+        return score_block_groups(self, spectra, batch, selections, 0.0, prepare, kernel)
+
+    def score_index_block(self, spectra, index, row_sets):
+        """Index-served cohort scoring: one flat probe for all queries."""
+        return [
+            counts.astype(np.float64)
+            for counts in index.shared_peak_counts_block(
+                spectra, self.fragment_tolerance, row_sets
+            )
+        ]

@@ -125,6 +125,27 @@ class XCorrScorer:
             out[group.rows[scored]] = sums[scored] * 1e-2
         return batch.reduce_rows(out)
 
+    def score_block(self, spectra, batch: CandidateBatch, selections):
+        """Cohort scoring: ladders built once, queries share the matrices."""
+        from repro.scoring.base import score_block_groups
+
+        def prepare(group):
+            if group.length < 2:
+                return None  # empty ladder, score stays -inf
+            return by_ion_ladder_rows(group.mass_rows())
+
+        def kernel(spectrum, ladders, local):
+            out = np.full(len(local), -np.inf)
+            if spectrum.num_peaks == 0:
+                return out
+            processed = self._preprocessed(spectrum)
+            sums, counts = self._ladder_matrix_scores(processed, ladders[local])
+            scored = np.nonzero(counts > 0)[0]
+            out[scored] = sums[scored] * 1e-2
+            return out
+
+        return score_block_groups(self, spectra, batch, selections, -np.inf, prepare, kernel)
+
     def score_index(self, spectrum: Spectrum, index, rows: np.ndarray) -> np.ndarray:
         """Index-served scoring; bitwise identical to :meth:`score_batch`.
 

@@ -117,6 +117,16 @@ class SimComm:
         self.trace.add("index", self.clock, seconds, detail)
         self.clock += seconds
 
+    def sweep_setup(self, seconds: float, detail: str = "") -> None:
+        """Like :meth:`compute`, but traced as ``sweep`` — the
+        candidate-major path's per-query/per-cohort bookkeeping, kept
+        separate so summaries show the amortized setup directly."""
+        if seconds < 0:
+            raise ValueError(f"sweep setup time must be >= 0, got {seconds}")
+        seconds = seconds / self._cluster.effective_speed(self.rank, self.clock)
+        self.trace.add("sweep", self.clock, seconds, detail)
+        self.clock += seconds
+
     # -- fault tolerance ---------------------------------------------------
 
     @property

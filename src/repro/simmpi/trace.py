@@ -22,6 +22,10 @@ needed to reproduce that analysis:
   Separate from ``compute`` for the same reason as ``recovery``: the
   build is an amortized setup cost, and folding it into query-processing
   compute would distort residual-communication ratios.
+* ``sweep`` — candidate-major sweep setup (query sorting, vectorized
+  window bounds, cohort probes).  Kept out of ``compute`` so the sweep's
+  amortized bookkeeping is directly visible in summaries and does not
+  shift residual-communication ratios relative to per-query runs.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ class RankTrace:
     collective: float = 0.0
     recovery: float = 0.0
     index_build: float = 0.0
+    sweep: float = 0.0
     events: List[tuple] = field(default_factory=list, repr=False)
     record_events: bool = False
 
@@ -67,6 +72,8 @@ class RankTrace:
             self.recovery += duration
         elif category == "index":
             self.index_build += duration
+        elif category == "sweep":
+            self.sweep += duration
         else:
             raise ValueError(f"unknown trace category {category!r}")
         if self.record_events and duration > 0:
@@ -105,6 +112,7 @@ class TraceSummary:
     transfer_retries: int = 0
     recovery_fetches: int = 0
     total_index_build: float = 0.0
+    total_sweep: float = 0.0
 
     @classmethod
     def from_traces(
@@ -127,6 +135,7 @@ class TraceSummary:
             transfer_retries=transfer_retries,
             recovery_fetches=recovery_fetches,
             total_index_build=sum(t.index_build for t in traces.values()),
+            total_sweep=sum(t.sweep for t in traces.values()),
         )
 
     @property

@@ -1,0 +1,58 @@
+"""Packed multi-spectrum batch for cohort (candidate-major) scoring.
+
+A cohort of queries whose precursor windows overlap shares one candidate
+block; the block's fragment-index probe then wants all member peaks in a
+single pair of flat arrays so binning, posting-list lookup, and segment
+sums run once per cohort instead of once per query.  ``SpectrumBatch``
+concatenates the members' peak arrays with a CSR-style offsets vector.
+
+The flat arrays are plain concatenations — every value is bit-for-bit
+the same float64 the per-spectrum arrays hold — so any kernel that
+gathers a member's slice (or addresses peaks by global flat index)
+produces results bitwise identical to the per-query path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.spectra.spectrum import Spectrum
+
+
+class SpectrumBatch:
+    """Peaks of several spectra packed into flat CSR arrays.
+
+    Attributes:
+        spectra: the member spectra, in cohort order.
+        mz: all members' peak m/z values, concatenated (``float64``).
+        intensity: matching concatenated intensities.
+        offsets: ``(len + 1,)`` int64; member ``k`` owns the flat slice
+            ``[offsets[k], offsets[k + 1])``.
+    """
+
+    __slots__ = ("spectra", "mz", "intensity", "offsets")
+
+    def __init__(self, spectra: Sequence[Spectrum]):
+        self.spectra: List[Spectrum] = list(spectra)
+        counts = np.fromiter(
+            (s.num_peaks for s in self.spectra), dtype=np.int64, count=len(self.spectra)
+        )
+        self.offsets = np.concatenate(([0], np.cumsum(counts)))
+        if self.spectra:
+            self.mz = np.ascontiguousarray(np.concatenate([s.mz for s in self.spectra]))
+            self.intensity = np.ascontiguousarray(
+                np.concatenate([s.intensity for s in self.spectra])
+            )
+        else:
+            self.mz = np.empty(0, dtype=np.float64)
+            self.intensity = np.empty(0, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.spectra)
+
+    @property
+    def num_peaks(self) -> int:
+        """Total peak count across all members."""
+        return len(self.mz)

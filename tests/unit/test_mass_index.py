@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.candidates.mass_index import CandidateSpans, MassIndex
+from repro.candidates.mass_index import CandidateSpans, MassIndex, coalesce_windows
 from repro.chem.peptide import peptide_mass
 from repro.chem.protein import ProteinDatabase
 
@@ -85,6 +85,75 @@ class TestWindows:
 
     def test_nbytes_positive(self, index):
         assert index.nbytes > 0
+
+
+class TestSweepEnumeration:
+    WINDOWS = [(0.0, 1e9), (300.0, 500.0), (700.0, 900.0), (100.0, 100.0), (1e6, 2e6)]
+
+    def test_windows_many_matches_scalar_enumeration(self, index):
+        lows = np.array([w[0] for w in self.WINDOWS])
+        highs = np.array([w[1] for w in self.WINDOWS])
+        p0, p1, s0, s1 = index.windows_many(lows, highs)
+        for k, (lo, hi) in enumerate(self.WINDOWS):
+            spans, _ = index.sweep_spans(p0[k], p1[k], s0[k], s1[k])
+            ref = index.candidates_in_window(lo, hi)
+            assert len(spans) == len(ref)
+            assert np.array_equal(spans.seq_index, ref.seq_index)
+            assert np.array_equal(spans.start, ref.start)
+            assert np.array_equal(spans.stop, ref.stop)
+            assert np.array_equal(spans.mass, ref.mass)
+
+    def test_sweep_spans_dedups_suffixes(self, db, index):
+        # union block over the whole mass range must carry no duplicates
+        p0, p1, s0, s1 = index.windows_many(np.array([0.0]), np.array([1e9]))
+        spans, num_prefixes = index.sweep_spans(p0[0], p1[0], s0[0], s1[0])
+        keys = {
+            (int(spans.seq_index[k]), int(spans.start[k]), int(spans.stop[k]))
+            for k in range(len(spans))
+        }
+        assert len(keys) == len(spans) == 2 * db.total_residues - len(db)
+        assert np.all(spans.start[:num_prefixes] == 0)
+
+    def test_empty_window_fast_path(self, index):
+        assert len(index.candidates_in_window(5.0, 6.0)) == 0
+        p0, p1, s0, s1 = index.windows_many(np.array([5.0]), np.array([6.0]))
+        spans, num_prefixes = index.sweep_spans(p0[0], p1[0], s0[0], s1[0])
+        assert len(spans) == 0 and num_prefixes == 0
+
+    def test_inverted_window_yields_empty(self, index):
+        assert len(index.candidates_in_window(500.0, 300.0)) == 0
+
+
+class TestCoalesceWindows:
+    def test_disjoint_windows_stay_separate(self):
+        lows = np.array([0.0, 10.0, 20.0])
+        highs = np.array([1.0, 11.0, 21.0])
+        assert coalesce_windows(lows, highs, 32) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_overlapping_windows_merge_transitively(self):
+        lows = np.array([0.0, 0.5, 1.2, 50.0])
+        highs = np.array([1.0, 1.5, 2.0, 51.0])
+        # window 2 overlaps the running [0, 1.5] union via window 1
+        assert coalesce_windows(lows, highs, 32) == [(0, 3), (3, 4)]
+
+    def test_max_cohort_caps_merging(self):
+        lows = np.zeros(5)
+        highs = np.ones(5)
+        assert coalesce_windows(lows, highs, 2) == [(0, 2), (2, 4), (4, 5)]
+        assert coalesce_windows(lows, highs, 1) == [(k, k + 1) for k in range(5)]
+
+    def test_empty_input(self):
+        assert coalesce_windows(np.array([]), np.array([]), 32) == []
+
+    def test_cohorts_cover_all_queries_once(self):
+        rng = np.random.default_rng(3)
+        lows = np.sort(rng.uniform(0.0, 100.0, 40))
+        highs = lows + rng.uniform(0.0, 10.0, 40)
+        cohorts = coalesce_windows(lows, highs, 8)
+        assert cohorts[0][0] == 0 and cohorts[-1][1] == 40
+        for (a, b), (c, _d) in zip(cohorts, cohorts[1:]):
+            assert a < b == c
+        assert all(b - a <= 8 for a, b in cohorts)
 
 
 class TestCandidateSpans:
