@@ -42,6 +42,7 @@ from repro.core import (
     search_serial,
 )
 from repro.engines import run_multiprocess_search
+from repro.obs import MetricsRegistry, RunReport, enable_metrics, get_metrics
 from repro.scoring import Hit, TopHitList
 from repro.simmpi import ClusterConfig, NetworkModel, SimCluster
 from repro.spectra import Spectrum, SpectrumSimulator
@@ -79,6 +80,10 @@ __all__ = [
     "run_xbang",
     "search_serial",
     "run_multiprocess_search",
+    "MetricsRegistry",
+    "RunReport",
+    "enable_metrics",
+    "get_metrics",
     "Hit",
     "TopHitList",
     "ClusterConfig",

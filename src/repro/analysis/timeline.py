@@ -6,8 +6,14 @@ two views people actually read when debugging parallel schedules:
 
 * :func:`utilization_table` — per-rank busy/wait/collective fractions;
 * :func:`ascii_gantt` — a character timeline per rank
-  (``#`` compute, ``.`` wait/residual comm, ``=`` collective, space idle),
+  (``#`` compute, ``.`` wait/residual comm, ``=`` collective,
+  ``I`` index build, ``S`` sweep setup, ``R`` recovery, space idle),
   which makes masking (or its absence) visible at a glance.
+
+The same event stream exports to Chrome trace-event JSON via
+``repro trace --format chrome`` (see ``repro.obs.chrome_trace``); the
+glyph categories here and the ``cat`` field there are the same
+vocabulary, documented in docs/observability.md.
 """
 
 from __future__ import annotations
@@ -17,9 +23,23 @@ from typing import Dict, List
 from repro.simmpi.trace import TraceSummary
 from repro.utils.format import render_table
 
-_GLYPH: Dict[str, str] = {"compute": "#", "wait": ".", "collective": "="}
+_GLYPH: Dict[str, str] = {
+    "compute": "#",
+    "wait": ".",
+    "collective": "=",
+    "index": "I",
+    "sweep": "S",
+    "recovery": "R",
+}
 #: painting priority when segments overlap a cell (compute wins)
-_PRIORITY = {"compute": 3, "wait": 2, "collective": 1}
+_PRIORITY = {
+    "compute": 6,
+    "recovery": 5,
+    "index": 4,
+    "sweep": 3,
+    "wait": 2,
+    "collective": 1,
+}
 
 
 def utilization_table(summary: TraceSummary) -> str:
@@ -74,5 +94,8 @@ def ascii_gantt(summary: TraceSummary, width: int = 80) -> str:
                     cells[c] = glyph
                     priority[c] = _PRIORITY[category]
         lines.append(f"P{rank:<3d} |{''.join(cells)}|")
-    lines.append("      # compute   . wait (residual comm)   = collective")
+    lines.append(
+        "      # compute   . wait (residual comm)   = collective   "
+        "I index   S sweep   R recovery"
+    )
     return "\n".join(lines)

@@ -8,6 +8,12 @@ Commands:
 * ``validate`` — check that Algorithms A and B reproduce the serial
   engine's output exactly (the paper's validation experiment).
 * ``calibrate`` — measure this host's per-candidate scoring cost.
+* ``trace``    — export one run's timeline as Chrome trace-event JSON
+  (open in chrome://tracing or Perfetto) or an ascii gantt.
+
+``search --report-out report.json`` writes the schema-versioned
+:class:`~repro.obs.report.RunReport` (trace, fault stats, extras and a
+metrics snapshot in one document); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -131,6 +137,14 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
     queries = generate_queries(args.queries, seed=args.query_seed)
     config = _make_config(args)
+    registry = None
+    if args.report_out:
+        # collect runtime telemetry for the RunReport; search results are
+        # bitwise identical with or without it
+        from repro.obs.metrics import enable_metrics
+
+        registry = enable_metrics()
+        registry.reset()
     if args.algorithm == "multiproc":
         from repro.engines.multiproc import run_multiprocess_search
         from repro.faults.injector import FaultInjector, TaskFault
@@ -185,6 +199,15 @@ def cmd_search(args: argparse.Namespace) -> int:
                 f"{report.extras['recovery_fetches']} recovery fetches, "
                 f"{report.extras['recovery_time']:.3f}s recovery time"
             )
+    if registry is not None:
+        from repro.obs.metrics import enable_metrics
+        from repro.obs.report import RunReport
+
+        enable_metrics(False)
+        RunReport.from_search_report(report, metrics=registry.snapshot()).write(
+            args.report_out
+        )
+        print(f"wrote run report to {args.report_out}")
     if args.output:
         from repro.core.results import write_tsv
 
@@ -292,6 +315,82 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     print(utilization_table(report.trace))
     print()
     print(ascii_gantt(report.trace, width=args.width))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export one run's timeline for chrome://tracing / Perfetto.
+
+    Simulated engines replay in MODELED execution with per-rank event
+    recording on (one lane per rank, virtual time); the multiproc engine
+    runs for real with the metrics registry enabled (one lane per worker
+    process, wall time).
+    """
+    from repro.obs.chrome_trace import (
+        events_from_metrics,
+        events_from_summary,
+        write_chrome_trace,
+    )
+
+    db = generate_database(args.database_size, seed=args.seed)
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    if args.algorithm == "multiproc":
+        if args.format == "ascii":
+            print(
+                "error: --format ascii needs a simulated engine "
+                "(per-rank virtual timelines); multiproc exports chrome only",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.engines.multiproc import run_multiprocess_search
+        from repro.obs.metrics import enable_metrics
+
+        registry = enable_metrics()
+        registry.reset()
+        try:
+            report = run_multiprocess_search(
+                db, queries, num_workers=args.ranks, config=_make_config(args)
+            )
+        finally:
+            enable_metrics(False)
+        events = events_from_metrics(registry.snapshot())
+        metadata = {
+            "algorithm": report.algorithm,
+            "engine": "multiproc",
+            "ranks": report.num_ranks,
+            "wall_time": report.virtual_time,
+        }
+    else:
+        from repro.simmpi.scheduler import ClusterConfig
+
+        config = _make_config(args, ExecutionMode.MODELED)
+        report = run_search(
+            db, queries, args.algorithm, args.ranks, config,
+            cluster_config=ClusterConfig(num_ranks=args.ranks, record_events=True),
+        )
+        if report.trace is None:
+            print(
+                f"error: {args.algorithm} produced no per-rank trace",
+                file=sys.stderr,
+            )
+            return 2
+        if args.format == "ascii":
+            from repro.analysis.timeline import ascii_gantt
+
+            print(ascii_gantt(report.trace, width=args.width))
+            return 0
+        events = events_from_summary(report.trace)
+        metadata = {
+            "algorithm": report.algorithm,
+            "engine": "simmpi",
+            "ranks": report.num_ranks,
+            "virtual_time": report.virtual_time,
+        }
+    write_chrome_trace(args.out, events, metadata)
+    print(
+        f"wrote {len(events)} trace events to {args.out} "
+        f"(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -406,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--task-timeout", type=_positive_float, default=None,
         help="multiproc: seconds before a hung task is resubmitted",
     )
+    p_search.add_argument(
+        "--report-out", default=None,
+        help="write a schema-versioned RunReport (JSON) with trace, fault "
+        "stats and a metrics snapshot (see docs/observability.md)",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_scaling = sub.add_parser("scaling", help="regenerate a run-time/speedup grid")
@@ -451,6 +555,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--ranks", "-p", type=_positive_int, default=4)
     p_tl.add_argument("--width", type=int, default=80)
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_trace = sub.add_parser(
+        "trace", help="export one run's timeline as Chrome trace-event JSON"
+    )
+    _add_search_args(p_trace)
+    p_trace.add_argument(
+        "--algorithm", "-a", choices=sorted(ALGORITHMS) + ["multiproc"],
+        default="algorithm_a",
+    )
+    p_trace.add_argument("--ranks", "-p", type=_positive_int, default=4)
+    p_trace.add_argument(
+        "--format", choices=["chrome", "ascii"], default="chrome",
+        help="chrome: trace-event JSON for chrome://tracing/Perfetto; "
+        "ascii: per-rank gantt on stdout (simulated engines only)",
+    )
+    p_trace.add_argument("--out", default="trace.json", help="chrome output path")
+    p_trace.add_argument("--width", type=int, default=80, help="ascii gantt width")
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

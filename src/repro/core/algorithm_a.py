@@ -44,6 +44,7 @@ from repro.core.recovery import run_recovery_rounds
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher, ShardStats
 from repro.errors import RankFailedError
+from repro.obs.naming import simmpi_extras
 from repro.scoring.hits import TopHitList
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -218,27 +219,12 @@ def run_algorithm_a(
     totals = ShardStats()
     for o in outcomes:
         totals.merge(o.value[1])
-    extras = {
-        "residual_to_compute": summary.mean_residual_to_compute,
-        "masking_effectiveness": summary.masking_effectiveness,
-        "index_build_time": summary.total_index_build,
-        "index_probe_fraction": (
-            totals.index_rows / totals.rows_scored if totals.rows_scored else 0.0
-        ),
-    }
-    if config.use_sweep:
-        extras.update(
-            sweep_queries=totals.sweep_queries,
-            sweep_cohorts=totals.sweep_cohorts,
-            sweep_setup_time=summary.total_sweep,
-        )
-    if cluster_config.fault_plan is not None:
-        extras.update(
-            failed_ranks=list(summary.failed_ranks),
-            recovery_time=summary.total_recovery,
-            transfer_retries=summary.transfer_retries,
-            recovery_fetches=summary.recovery_fetches,
-        )
+    extras = simmpi_extras(
+        summary,
+        totals=totals,
+        config=config,
+        fault_tolerant=cluster_config.fault_plan is not None,
+    )
     return SearchReport(
         algorithm="algorithm_a" if mask else "algorithm_a_nomask",
         num_ranks=num_ranks,

@@ -36,6 +36,7 @@ from repro.core.config import ExecutionMode, SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
+from repro.obs.naming import simmpi_extras
 from repro.scoring.hits import Hit, TopHitList
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -219,8 +220,5 @@ def run_candidate_transport(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={
-            "generation_fraction_saved": GENERATION_FRACTION,
-            "residual_to_compute": summary.mean_residual_to_compute,
-        },
+        extras=simmpi_extras(summary, generation_fraction_saved=GENERATION_FRACTION),
     )

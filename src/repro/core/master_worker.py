@@ -25,6 +25,7 @@ from repro.chem.protein import ProteinDatabase
 from repro.core.config import SearchConfig
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
+from repro.obs.naming import simmpi_extras
 from repro.scoring.hits import Hit, TopHitList
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -155,5 +156,5 @@ def run_master_worker(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={"batch_size": batch_size, "workers": num_ranks - 1},
+        extras=simmpi_extras(summary, batch_size=batch_size, workers=num_ranks - 1),
     )

@@ -34,6 +34,7 @@ from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
+from repro.obs.naming import simmpi_extras
 from repro.scoring.hits import Hit, TopHitList, merge_hit_lists
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
@@ -140,5 +141,5 @@ def run_query_transport(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={"residual_to_compute": summary.mean_residual_to_compute},
+        extras=simmpi_extras(summary),
     )

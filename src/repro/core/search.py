@@ -23,6 +23,7 @@ from repro.chem.protein import ProteinDatabase
 from repro.core.config import ExecutionMode, SearchConfig
 from repro.index import FragmentIndex
 from repro.index.fragment_index import _ragged_arange
+from repro.obs.metrics import get_metrics
 from repro.scoring.base import Scorer, batch_scores, block_scores
 from repro.scoring.hits import TopHitList
 from repro.spectra.library import SpectralLibrary
@@ -105,13 +106,17 @@ class ShardSearcher:
             and getattr(self.scorer, "score_index", None) is not None
             and getattr(self.scorer, "indexable", True)
         ):
-            self.index = FragmentIndex(
-                shard,
-                self.generator.index,
-                fragment_tolerance=config.fragment_tolerance,
-                max_length=config.index_max_length,
-            )
+            obs = get_metrics()
+            with obs.span("index.build", category="index", shard_bytes=shard.nbytes):
+                self.index = FragmentIndex(
+                    shard,
+                    self.generator.index,
+                    fragment_tolerance=config.fragment_tolerance,
+                    max_length=config.index_max_length,
+                )
             self.index_build_time = self.index.build_time
+            obs.count("index.builds")
+            obs.count("index.fragments", self.index.num_fragments)
 
     @property
     def nbytes(self) -> int:
@@ -194,10 +199,34 @@ class ShardSearcher:
         The single entry point engines call, so ``config.use_sweep``
         switches every algorithm between the two (bitwise-identical)
         execution shapes at once.
+
+        Telemetry rides here and only here: one span per shard pass plus
+        work counters, recorded into the process-default
+        :class:`~repro.obs.metrics.MetricsRegistry` — a single attribute
+        check when disabled (the default), and never an input to
+        scoring, so hits are bitwise identical either way.
         """
-        if self.config.use_sweep:
-            return self.search_sweep(queries, hitlists)
-        return self.search(queries, hitlists)
+        kernel = self.search_sweep if self.config.use_sweep else self.search
+        obs = get_metrics()
+        if not obs.enabled:
+            return kernel(queries, hitlists)
+        with obs.span("search.shard", category="search", sweep=self.config.use_sweep):
+            stats = kernel(queries, hitlists)
+        obs.count("search.queries", stats.queries_processed)
+        obs.count("search.candidates", stats.candidates_evaluated)
+        obs.count("search.batches", stats.batches)
+        obs.count("search.rows_scored", stats.rows_scored)
+        obs.count("search.index_rows", stats.index_rows)
+        if stats.sweep_queries:
+            obs.count("sweep.queries", stats.sweep_queries)
+            obs.count("sweep.cohorts", stats.sweep_cohorts)
+        if stats.queries_processed:
+            obs.observe(
+                "search.candidates_per_query",
+                stats.candidates_evaluated / stats.queries_processed,
+                buckets=(10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+            )
+        return stats
 
     def _count_modeled(
         self,

@@ -32,6 +32,7 @@ from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher, ShardStats
 from repro.errors import ConfigError
+from repro.obs.naming import simmpi_extras
 from repro.simmpi.comm import SimComm
 from repro.simmpi.scheduler import ClusterConfig, SimCluster
 from repro.spectra.library import SpectralLibrary
@@ -162,9 +163,11 @@ def run_subgroups(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={
-            "num_groups": num_groups,
-            "group_size": group_size,
-            "residual_to_compute": summary.mean_residual_to_compute,
-        },
+        extras=simmpi_extras(
+            summary,
+            totals=totals,
+            config=config,
+            num_groups=num_groups,
+            group_size=group_size,
+        ),
     )

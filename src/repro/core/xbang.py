@@ -25,6 +25,7 @@ from repro.chem.protein import ProteinDatabase
 from repro.core.config import ExecutionMode, SearchConfig
 from repro.core.partition import partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
+from repro.obs.naming import simmpi_extras
 from repro.scoring.hits import Hit, TopHitList
 from repro.scoring.hyperscore import HyperScorer
 from repro.simmpi.comm import SimComm
@@ -142,5 +143,9 @@ def run_xbang(
         virtual_time=summary.makespan,
         trace=summary,
         peak_memory={r: cluster.memory[r].peak for r in range(num_ranks)},
-        extras={"tryptic_peptides": len(index), "parent_tolerance": parent_tolerance},
+        extras=simmpi_extras(
+            summary,
+            tryptic_peptides=len(index),
+            parent_tolerance=parent_tolerance,
+        ),
     )

@@ -34,6 +34,7 @@ from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
 from repro.core.search import ShardSearcher
+from repro.obs.naming import canonicalize_extras
 from repro.scoring.hits import TopHitList
 from repro.spectra.spectrum import Spectrum
 
@@ -112,7 +113,9 @@ def run_mpi_search(
         hits=merge_rank_hits(gathered, config.tau),
         candidates_evaluated=int(total_candidates),
         virtual_time=float(max_wall),
-        extras={"backend": "mpi4py", "wall_time": float(max_wall)},
+        extras=canonicalize_extras(
+            {"backend": "mpi4py", "wall_time": float(max_wall)}
+        ),
     )
 
 

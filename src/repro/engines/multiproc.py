@@ -51,6 +51,8 @@ from repro.core.search import ShardSearcher, ShardStats
 from repro.faults.checkpoint import CheckpointManager
 from repro.faults.injector import FaultInjector
 from repro.faults.supervisor import RetryPolicy
+from repro.obs.metrics import MetricsRegistry, get_metrics, use_registry
+from repro.obs.naming import canonicalize_extras
 from repro.scoring.hits import Hit, TopHitList
 from repro.spectra.spectrum import Spectrum
 
@@ -138,22 +140,47 @@ def _cached_searcher(shard_id: int) -> Tuple[ShardSearcher, float]:
     return searcher, searcher.index_build_time
 
 
-def _worker(task: _TaskWire) -> Tuple[int, Dict[int, List[Hit]], ShardStats]:
-    """Search one (shard, query block) pair; runs in a worker process."""
+def _worker(
+    task: _TaskWire,
+) -> Tuple[int, Dict[int, List[Hit]], ShardStats, Optional[Dict[str, Any]]]:
+    """Search one (shard, query block) pair; runs in a worker process.
+
+    With telemetry on (``context["metrics"]``) the task runs under a
+    fresh per-task registry, so nested spans (index builds, the shard
+    search itself) ship back in the returned snapshot and the supervisor
+    folds them into the run-wide registry — one timeline lane per worker
+    process in the Chrome-trace export.
+    """
     task_id, attempt, shard_id, block_id = task
-    injector = _TASK_CONTEXT.get("injector")
-    if injector is not None:
-        injector.fire(task_id, attempt)
-    searcher, built = _cached_searcher(shard_id)
-    queries = _cached_queries(block_id)
-    hitlists: Dict[int, TopHitList] = {}
-    stats = searcher.run(queries, hitlists)
-    stats.index_build_time += built
-    # Blocks travel mass-sorted (sweep locality); emit hits in the
-    # caller's original query order so output is independent of the sort.
-    order = _TASK_CONTEXT["block_qids"][block_id]
-    hits = {qid: hitlists[qid].sorted_hits() for qid in order}
-    return task_id, hits, stats
+
+    def execute() -> Tuple[Dict[int, List[Hit]], ShardStats]:
+        injector = _TASK_CONTEXT.get("injector")
+        if injector is not None:
+            injector.fire(task_id, attempt)
+        searcher, built = _cached_searcher(shard_id)
+        queries = _cached_queries(block_id)
+        hitlists: Dict[int, TopHitList] = {}
+        stats = searcher.run(queries, hitlists)
+        stats.index_build_time += built
+        # Blocks travel mass-sorted (sweep locality); emit hits in the
+        # caller's original query order so output is independent of the sort.
+        order = _TASK_CONTEXT["block_qids"][block_id]
+        return {qid: hitlists[qid].sorted_hits() for qid in order}, stats
+
+    if not _TASK_CONTEXT.get("metrics"):
+        hits, stats = execute()
+        return task_id, hits, stats, None
+    with use_registry(MetricsRegistry(enabled=True)) as registry:
+        with registry.span(
+            "multiproc.task",
+            category="task",
+            task=task_id,
+            shard=shard_id,
+            block=block_id,
+            attempt=attempt,
+        ):
+            hits, stats = execute()
+    return task_id, hits, stats, registry.snapshot()
 
 
 class _Supervisor:
@@ -179,7 +206,10 @@ class _Supervisor:
         self.retries = 0
         self.timeouts = 0
         self.failed_tasks: List[Dict[str, Any]] = []
-        self.results: Dict[int, Tuple[Dict[int, List[Hit]], ShardStats]] = {}
+        # task_id -> (hits, stats, metrics snapshot or None)
+        self.results: Dict[
+            int, Tuple[Dict[int, List[Hit]], ShardStats, Optional[Dict[str, Any]]]
+        ] = {}
 
     def _payload(self, task_id: int) -> _TaskWire:
         shard_id, block_id = self._tasks[task_id]
@@ -208,11 +238,11 @@ class _Supervisor:
             if delay > 0:
                 time.sleep(delay)
             try:
-                tid, hits, stats = _worker(self._payload(task_id))
+                tid, hits, stats, snap = _worker(self._payload(task_id))
             except Exception as exc:
                 self._record_failure(task_id, repr(exc), backlog)
             else:
-                self.results[tid] = (hits, stats)
+                self.results[tid] = (hits, stats, snap)
 
     def run_pooled(self) -> None:
         backlog: List[Tuple[float, int]] = [(0.0, t) for t in sorted(self._tasks)]
@@ -230,11 +260,11 @@ class _Supervisor:
                 if handle.ready():
                     del in_flight[task_id]
                     try:
-                        tid, hits, stats = handle.get()
+                        tid, hits, stats, snap = handle.get()
                     except Exception as exc:
                         self._record_failure(task_id, repr(exc), backlog)
                     else:
-                        self.results[tid] = (hits, stats)
+                        self.results[tid] = (hits, stats, snap)
                 elif now > deadline:
                     # the worker is hung; abandon the handle (the pool
                     # process is reclaimed at pool teardown) and treat it
@@ -304,12 +334,14 @@ def run_multiprocess_search(
     blocks = [sorted(block, key=lambda q: q.parent_mass) for block in blocks]
     shard_wires = [shard.to_buffers() for shard in shards]
     block_wires = [[_pack_spectrum(q) for q in block] for block in blocks]
+    obs = get_metrics()
     context: Dict[str, Any] = {
         "shard_wires": shard_wires,
         "query_blocks": block_wires,
         "block_qids": block_qids,
         "config": config,
         "injector": fault_injector,
+        "metrics": obs.enabled,
     }
     # task_id = shard_id * nblocks + block_id keeps task_id == shard_id
     # in the default single-block layout (checkpoint compatibility).
@@ -357,27 +389,38 @@ def run_multiprocess_search(
     start = time.perf_counter()
     _install_context(context)
     try:
-        if num_workers == 1:
-            supervisor = _Supervisor(None, tasks, policy, task_timeout)
-            supervisor.run_inline()
-        else:
-            method = start_method or ("spawn" if os.name == "nt" else "fork")
-            ctx = mp.get_context(method)
-            # fork inherits the context copy-on-write; spawn ships it once
-            # per worker through the initializer.
-            initargs = (None,) if method == "fork" else (context,)
-            with ctx.Pool(
-                processes=num_workers, initializer=_worker_init, initargs=initargs
-            ) as pool:
-                supervisor = _Supervisor(pool, tasks, policy, task_timeout)
-                supervisor.run_pooled()
+        with obs.span(
+            "multiproc.supervise",
+            category="supervise",
+            workers=num_workers,
+            tasks=num_tasks,
+        ):
+            if num_workers == 1:
+                supervisor = _Supervisor(None, tasks, policy, task_timeout)
+                supervisor.run_inline()
+            else:
+                method = start_method or ("spawn" if os.name == "nt" else "fork")
+                ctx = mp.get_context(method)
+                # fork inherits the context copy-on-write; spawn ships it once
+                # per worker through the initializer.
+                initargs = (None,) if method == "fork" else (context,)
+                with ctx.Pool(
+                    processes=num_workers, initializer=_worker_init, initargs=initargs
+                ) as pool:
+                    supervisor = _Supervisor(pool, tasks, policy, task_timeout)
+                    supervisor.run_pooled()
     finally:
         _install_context(None)
     wall = time.perf_counter() - start
+    obs.count("multiproc.dispatched", len(supervisor.results) + supervisor.retries)
+    obs.count("multiproc.retries", supervisor.retries)
+    obs.count("multiproc.timeouts", supervisor.timeouts)
+    obs.count("multiproc.quarantined", len(supervisor.failed_tasks))
 
     stats = ShardStats()
     for task_id in sorted(supervisor.results):
-        task_hits, worker_stats = supervisor.results[task_id]
+        task_hits, worker_stats, worker_snap = supervisor.results[task_id]
+        obs.merge_snapshot(worker_snap)
         stats.merge(worker_stats)
         if manager is not None:
             manager.record(
@@ -414,7 +457,7 @@ def run_multiprocess_search(
         hits=hits,
         candidates_evaluated=candidates,
         virtual_time=wall,
-        extras={
+        extras=canonicalize_extras({
             "num_shards": len(shards),
             "query_blocks": nblocks,
             "wall_time": wall,
@@ -437,5 +480,5 @@ def run_multiprocess_search(
             "timeouts": supervisor.timeouts,
             "failed_tasks": supervisor.failed_tasks,
             "degraded": bool(supervisor.failed_tasks),
-        },
+        }),
     )

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
 from repro.errors import CheckpointError
+from repro.obs.metrics import get_metrics
 from repro.scoring.hits import Hit, TopHitList, hits_from_payload, hits_to_payload
 
 _FORMAT_VERSION = 1
@@ -182,6 +183,16 @@ class CheckpointManager:
 
     def flush(self) -> None:
         """Atomically persist the current state."""
+        obs = get_metrics()
+        with obs.span(
+            "checkpoint.flush",
+            category="checkpoint",
+            tasks=len(self.completed_tasks),
+        ):
+            self._flush()
+        obs.count("checkpoint.flushes")
+
+    def _flush(self) -> None:
         state = SearchCheckpoint(
             fingerprint=self.fingerprint,
             completed_tasks=self.completed_tasks,

@@ -186,3 +186,81 @@ class TestCommands:
     def test_report_missing_dir(self, tmp_path, capsys):
         rc = main(["report", "--output-dir", str(tmp_path / "nope"), "--output", str(tmp_path / "r.md")])
         assert rc == 1
+
+
+class TestObservabilityCommands:
+    def test_search_report_out_writes_valid_run_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.report import SCHEMA, RunReport
+
+        path = tmp_path / "report.json"
+        rc = main(
+            ["search", "-n", "120", "-m", "6", "-p", "2", "--report-out", str(path)]
+        )
+        assert rc == 0
+        assert f"wrote run report to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert RunReport.validate(payload) == []
+        # the registry was live during the run, so the hot path counted:
+        # each of the 6 queries is scored against both shards
+        assert payload["metrics"]["counters"]["search.queries"] == 12
+
+    def test_search_report_out_disables_registry_after(self, tmp_path):
+        from repro.obs.metrics import get_metrics
+
+        rc = main(
+            ["search", "-n", "100", "-m", "4", "-p", "2",
+             "--report-out", str(tmp_path / "r.json")]
+        )
+        assert rc == 0
+        assert get_metrics().enabled is False
+
+    def test_trace_chrome_simmpi(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "-n", "120", "-m", "6", "-p", "2", "--out", str(path)]
+        )
+        assert rc == 0
+        assert "trace events" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["engine"] == "simmpi"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete and {e["tid"] for e in complete} == {0, 1}
+
+    def test_trace_ascii_simmpi_prints_gantt(self, capsys):
+        rc = main(
+            ["trace", "-n", "120", "-m", "6", "-p", "2",
+             "--format", "ascii", "--width", "50"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "#" in out
+
+    def test_trace_chrome_multiproc(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "-a", "multiproc", "-n", "120", "-m", "4", "-p", "2",
+             "--out", str(path)]
+        )
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["engine"] == "multiproc"
+        cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "task" in cats and "supervise" in cats
+
+    def test_trace_ascii_rejects_multiproc(self, capsys):
+        rc = main(["trace", "-a", "multiproc", "-p", "2", "--format", "ascii"])
+        assert rc == 2
+        assert "simulated engine" in capsys.readouterr().err
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.format == "chrome"
+        assert args.out == "trace.json"
+        assert args.algorithm == "algorithm_a"

@@ -1,0 +1,116 @@
+"""Markdown link checker for the docs tree.
+
+Verifies that every relative markdown link — ``[text](target)`` — and
+every backticked ``*.md`` path mentioned in prose actually resolves to a
+file, relative to the referencing document or to the repository root.
+External URLs (http/https/mailto) and pure in-page anchors are skipped;
+``#fragment`` suffixes on file links are stripped before checking.
+
+CI runs this over ``docs/`` and ``README.md`` so a renamed or deleted
+page breaks the build instead of leaving dangling cross-references.
+
+Usage::
+
+    python tools/check_links.py                 # docs/ + README.md
+    python tools/check_links.py docs README.md DESIGN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import List, Optional, Tuple
+
+#: [text](target) — non-greedy target, tolerates titles after a space
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+#: `path/to/page.md` mentioned in backticks
+_BACKTICK_MD = re.compile(r"`([A-Za-z0-9_./-]+\.md)`")
+#: fenced code blocks are illustrative, not navigable
+_FENCE = re.compile(r"^(```|~~~)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _resolves(target: str, source_dir: str, root: str) -> bool:
+    for base in (source_dir, root):
+        if os.path.exists(os.path.join(base, target)):
+            return True
+    return False
+
+
+def check_file(path: str, root: str) -> List[Tuple[int, str]]:
+    """All dangling references in one markdown file as (line, message)."""
+    problems: List[Tuple[int, str]] = []
+    source_dir = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if _FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            targets = []
+            for match in _MD_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                    continue
+                targets.append(target.split("#", 1)[0])
+            targets.extend(_BACKTICK_MD.findall(line))
+            for target in targets:
+                if not target:
+                    continue
+                if not _resolves(target, source_dir, root):
+                    problems.append((lineno, f"dangling reference: {target}"))
+    return problems
+
+
+def collect_markdown(paths: List[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".md")
+                )
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["docs", "README.md"],
+        help="markdown files or directories (default: docs/ README.md)",
+    )
+    parser.add_argument(
+        "--root", default=".", help="repository root links may resolve against"
+    )
+    args = parser.parse_args(argv)
+
+    total = 0
+    files = collect_markdown(args.paths)
+    for path in files:
+        if not os.path.exists(path):
+            print(f"{path}: file not found", file=sys.stderr)
+            total += 1
+            continue
+        for lineno, message in check_file(path, args.root):
+            print(f"{path}:{lineno}: {message}", file=sys.stderr)
+            total += 1
+    if total:
+        print(f"{total} dangling reference(s) across {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} markdown file(s), no dangling references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
