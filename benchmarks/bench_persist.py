@@ -1,0 +1,186 @@
+"""Persistent-index benchmark: warm mmap load vs. in-process rebuild.
+
+Measures the build-once/load-many contract of ``repro.store``: the
+one-off cost of building and persisting a fragment-index store
+(``save_index``), the warm cost of serving it back (``open_index`` +
+``load_all``, memmap and heap variants), and the in-memory rebuild it
+replaces — with a bitwise correctness gate (loaded arrays == rebuilt
+arrays) before any timing.  The headline number is ``load_speedup``:
+how many times faster a warm mmap load is than rebuilding the same
+index in-process.
+
+Also reports the amortization curve: persisting costs more than one
+rebuild (the build plus the write), so the store pays for itself after
+``break_even_runs`` search processes have loaded it instead of
+rebuilding.
+
+Run ``python benchmarks/bench_persist.py`` to (re)generate
+``BENCH_persist.json``; ``--smoke`` runs a tiny workload and exits
+non-zero if the warm mmap load fails to beat the in-memory rebuild.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import SearchConfig
+from repro.core.partition import partition_database
+from repro.core.search import search_serial
+from repro.index import IndexBuilder
+from repro.index.layout import ARRAY_NAMES
+from repro.store import open_index, save_index
+from repro.workloads.queries import generate_queries
+from repro.workloads.synthetic import generate_database
+
+#: run counts sampled for the build-once amortization curve
+_CURVE_POINTS = (1, 2, 5, 10, 25, 50, 100)
+
+
+def measure_persistence(num_proteins=2_000, num_shards=2, num_queries=24, repeats=3):
+    """Warm-load vs rebuild timings -> BENCH_persist.json payload."""
+    import platform
+
+    import numpy as np
+
+    database = generate_database(num_proteins, seed=202)
+    queries = generate_queries(num_queries, seed=17, source=database)
+    workdir = Path(tempfile.mkdtemp(prefix="bench_persist_"))
+    try:
+        # cold: build the index AND persist it (what `repro index build` pays)
+        t0 = time.perf_counter()
+        store = save_index(database, workdir / "idx", num_shards=num_shards)
+        build_save_s = time.perf_counter() - t0
+
+        # in-memory rebuild: what every process pays without the store
+        shards = [s for s in partition_database(database, num_shards) if len(s) > 0]
+        builder = IndexBuilder()
+
+        def rebuild():
+            return [builder.build(shard) for shard in shards]
+
+        # correctness gate before timing: every loaded buffer must equal
+        # the fresh build bit for bit
+        rebuilt = rebuild()
+        loaded = open_index(store.path).load_all()
+        assert len(rebuilt) == len(loaded)
+        for built, shard_loaded in zip(rebuilt, loaded):
+            for name in ARRAY_NAMES:
+                got = np.asarray(shard_loaded.index.arrays[name])
+                assert got.tobytes() == built.arrays[name].tobytes(), name
+
+        def best_of(fn):
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        rebuild_s = best_of(rebuild)
+        warm_mmap_load_s = best_of(lambda: open_index(store.path).load_all())
+        heap_load_s = best_of(
+            lambda: open_index(store.path).load_all(mmap=False)
+        )
+
+        # end-to-end: one serial search served from the 1-shard variant
+        serial_store = save_index(database, workdir / "idx1", num_shards=1)
+        config = SearchConfig(tau=10)
+        t0 = time.perf_counter()
+        from_store = search_serial(database, queries, config, index_store=serial_store)
+        search_from_store_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rebuilt_report = search_serial(database, queries, config)
+        search_rebuild_s = time.perf_counter() - t0
+        from repro.core.results import reports_equal
+
+        assert reports_equal(from_store, rebuilt_report), "store changed the hits"
+
+        saved_per_run = rebuild_s - warm_mmap_load_s
+        extra_upfront = max(build_save_s - rebuild_s, 0.0)
+        curve = [
+            {
+                "runs": r,
+                "effective_speedup": (r * rebuild_s)
+                / (extra_upfront + r * warm_mmap_load_s),
+            }
+            for r in _CURVE_POINTS
+        ]
+        return {
+            "benchmark": "persisted_index_load_vs_rebuild",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "num_proteins": num_proteins,
+            "num_shards": num_shards,
+            "num_queries": num_queries,
+            "repeats": repeats,
+            "store_bytes": store.nbytes,
+            "index_bytes": store.index_nbytes,
+            "build_save_s": build_save_s,
+            "rebuild_s": rebuild_s,
+            "warm_mmap_load_s": warm_mmap_load_s,
+            "heap_load_s": heap_load_s,
+            "load_speedup": rebuild_s / warm_mmap_load_s,
+            "load_throughput_bytes_per_second": store.nbytes / warm_mmap_load_s,
+            "break_even_runs": extra_upfront / saved_per_run
+            if saved_per_run > 0
+            else None,
+            "amortization_curve": curve,
+            "serial_search": {
+                "search_from_store_s": search_from_store_s,
+                "search_rebuild_s": search_rebuild_s,
+                "index_load_time": from_store.extras["index_load_time"],
+                "index_mmap_bytes": from_store.extras["index_mmap_bytes"],
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    """Emit BENCH_persist.json so future PRs have a perf trajectory."""
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+        ),
+    )
+    parser.add_argument("--proteins", type=int, default=2_000)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=24)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI; fails if the warm mmap load is slower "
+        "than the in-memory rebuild and does not overwrite results",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = measure_persistence(
+            num_proteins=500, num_shards=2, num_queries=4, repeats=2
+        )
+        print(json.dumps(payload, indent=2))
+        if payload["load_speedup"] < 1.0:
+            print(
+                f"FAIL: warm mmap load slower than rebuild "
+                f"(speedup {payload['load_speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+        return
+    payload = measure_persistence(
+        args.proteins, args.shards, args.queries, args.repeats
+    )
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,13 @@
 Commands:
 
 * ``generate`` — write a synthetic database as FASTA.
-* ``search``   — run a search with any engine and print the top hits.
+* ``search``   — run a search with any engine and print the top hits
+  (``--index-path`` serves it from a persisted index, see below).
+* ``index``    — ``index build`` persists a fragment index to a
+  directory (build once); ``index inspect`` prints its header.  A
+  persisted index is fingerprint-bound to the exact database and build
+  options that produced it and is memory-mapped read-only at search
+  time (load many); see docs/index_persistence.md.
 * ``scaling``  — regenerate a Table II-style run-time/speedup grid.
 * ``validate`` — check that Algorithms A and B reproduce the serial
   engine's output exactly (the paper's validation experiment).
@@ -137,6 +143,30 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
     queries = generate_queries(args.queries, seed=args.query_seed)
     config = _make_config(args)
+    index_store = None
+    if args.index_path:
+        # Every misuse below is a *typed* ReproError: main() turns it
+        # into a one-line `error: ...` message, never a traceback.
+        from repro.core.search import index_compat_problems
+        from repro.errors import IndexCompatError
+        from repro.store import open_index
+
+        if args.algorithm not in ("serial", "multiproc"):
+            raise IndexCompatError(
+                f"--index-path is served by the real engines (serial, "
+                f"multiproc); the simulated engine {args.algorithm!r} models "
+                f"execution and cannot memory-map a persisted index"
+            )
+        problems = index_compat_problems(config)
+        if problems:
+            raise IndexCompatError(
+                "this search cannot be served from the persisted index: "
+                + "; ".join(problems)
+            )
+        if args.algorithm == "serial":
+            # opened here so a missing/corrupt path fails before any work;
+            # search_serial fingerprint-validates it against the database
+            index_store = open_index(args.index_path)
     registry = None
     if args.report_out:
         # collect runtime telemetry for the RunReport; search results are
@@ -169,6 +199,7 @@ def cmd_search(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             fault_injector=injector,
+            index_path=args.index_path,
         )
         if report.extras.get("degraded"):
             print(
@@ -181,6 +212,14 @@ def cmd_search(args: argparse.Namespace) -> int:
                 f"resumed {report.extras['tasks_resumed']} completed task(s) from "
                 f"{args.checkpoint}"
             )
+    elif index_store is not None:
+        from repro.errors import ConfigError
+
+        if args.ranks != 1:
+            raise ConfigError(
+                f"serial engine requires num_ranks == 1, got {args.ranks}"
+            )
+        report = search_serial(db, queries, config, index_store=index_store)
     else:
         cluster_config = None
         if args.fault_plan:
@@ -228,6 +267,61 @@ def cmd_search(args: argparse.Namespace) -> int:
             f"[{top.start},{top.stop}) mass {top.mass:.3f} score {top.score:.3f}"
         )
         shown += 1
+    return 0
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """Build a persistent fragment-index store (build once, load many)."""
+    from repro.store import save_index
+
+    db = (
+        read_fasta(args.database)
+        if args.database
+        else generate_database(args.database_size, seed=args.seed)
+    )
+    store = save_index(
+        db,
+        args.output,
+        num_shards=args.shards,
+        fragment_tolerance=args.fragment_tolerance,
+        max_length=args.index_max_length,
+        overwrite=args.overwrite,
+    )
+    info = store.describe()
+    print(
+        f"built index for {len(db)} sequences "
+        f"({format_si(db.total_residues)} residues): {info['num_shards']} "
+        f"shard(s), {format_si(info['total_bytes'])}B at {args.output}"
+    )
+    print(f"fingerprint {store.fingerprint}")
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    """Print a persisted index's header: schema, fingerprint, manifests."""
+    from repro.store import open_index
+
+    info = open_index(args.path).describe()
+    build = info["build"]
+    print(f"index store {info['path']}")
+    print(f"  schema       {info['schema']}")
+    print(f"  fingerprint  {info['fingerprint']}")
+    print(
+        f"  build        fragment_tolerance={build['fragment_tolerance']} "
+        f"max_length={build['max_length']} "
+        f"monoisotopic={build['monoisotopic']} "
+        f"shards={build['num_shards']}"
+    )
+    print(
+        f"  bytes        total={format_si(info['total_bytes'])}B "
+        f"index={format_si(info['index_bytes'])}B"
+    )
+    for shard in info["shards"]:
+        print(
+            f"  {shard['dir']}  rows={shard['num_rows']} "
+            f"fragments={shard['num_fragments']} "
+            f"bytes={format_si(shard['bytes'])}B"
+        )
     return 0
 
 
@@ -506,11 +600,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiproc: seconds before a hung task is resubmitted",
     )
     p_search.add_argument(
+        "--index-path", default=None,
+        help="serve the search from a persisted index directory built with "
+        "`repro index build` (real engines only; fingerprint-validated "
+        "against the database)",
+    )
+    p_search.add_argument(
         "--report-out", default=None,
         help="write a schema-versioned RunReport (JSON) with trace, fault "
         "stats and a metrics snapshot (see docs/observability.md)",
     )
     p_search.set_defaults(func=cmd_search)
+
+    p_index = sub.add_parser(
+        "index", help="build or inspect a persistent fragment-index store"
+    )
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+    p_ib = index_sub.add_parser(
+        "build", help="build an index store directory (build once, load many)"
+    )
+    p_ib.add_argument("output", help="index store directory to create")
+    p_ib.add_argument(
+        "--database", type=_existing_file, default=None,
+        help="index a FASTA file instead of a synthetic database",
+    )
+    p_ib.add_argument("--database-size", "-n", type=_positive_int, default=2000)
+    p_ib.add_argument("--seed", type=int, default=202)
+    p_ib.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="shard count (1 for the serial engine; any count for multiproc)",
+    )
+    p_ib.add_argument(
+        "--fragment-tolerance", type=_positive_float, default=0.5,
+        help="fragment m/z tolerance the index bins are sized for (Da)",
+    )
+    p_ib.add_argument(
+        "--index-max-length", type=_positive_int, default=48,
+        help="longest candidate span the index covers",
+    )
+    p_ib.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store at the output path",
+    )
+    p_ib.set_defaults(func=cmd_index_build)
+    p_ii = index_sub.add_parser(
+        "inspect", help="print a persisted index's header and manifests"
+    )
+    p_ii.add_argument("path", help="index store directory")
+    p_ii.set_defaults(func=cmd_index_inspect)
 
     p_scaling = sub.add_parser("scaling", help="regenerate a run-time/speedup grid")
     _add_search_args(p_scaling)

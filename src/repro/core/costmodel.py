@@ -77,6 +77,15 @@ class CostModel:
             candidate evaluation costs.  Probing precomputed posting
             lists skips fragment generation, which is the bulk of rho;
             the top-tau ``tau_cost`` term is unchanged.
+        index_load_per_byte: seconds per byte of *opening* a persisted
+            fragment index (``repro.store``): map the buffers and touch
+            the pages the first probes fault in.  An order of magnitude
+            under ``load_per_byte`` because a memory map is not a full
+            read — this is what makes build-once/load-many profitable
+            in virtual time, mirroring the real BENCH_persist numbers.
+        index_open_overhead: per-shard constant of an index load (header
+            parse, fingerprint check, file opens) charged once per
+            opened shard regardless of size.
         sweep_setup_per_query: residual per-query bookkeeping on the
             candidate-major sweep path (sort slot, vectorized window
             bounds, selection assembly).  Replaces ``query_overhead``
@@ -102,6 +111,8 @@ class CostModel:
     metadata_bytes_per_sequence: int = 520
     index_build_per_fragment: float = 5e-8
     index_probe_discount: float = 0.5
+    index_load_per_byte: float = 2e-9
+    index_open_overhead: float = 1e-3
     sweep_setup_per_query: float = 4e-5
     sweep_probe_per_cohort: float = 2.5e-4
 
@@ -120,6 +131,19 @@ class CostModel:
         if num_fragments < 0:
             raise ValueError(f"num_fragments must be >= 0, got {num_fragments}")
         return self.index_build_per_fragment * num_fragments
+
+    def index_load_time(self, nbytes: int, num_shards: int = 1) -> float:
+        """Virtual cost of opening persisted index shards totalling ``nbytes``.
+
+        Charged *instead of* :meth:`index_build_time` when a search is
+        served from a ``repro.store`` directory: a loaded run pays the
+        mapping cost, never the build.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if num_shards < 0:
+            raise ValueError(f"num_shards must be >= 0, got {num_shards}")
+        return self.index_load_per_byte * nbytes + self.index_open_overhead * num_shards
 
     def index_probe_time(self, candidates: int, scorer: Scorer) -> float:
         """Query-processing time for index-served candidate evaluations."""

@@ -24,6 +24,7 @@ from repro.core.config import ExecutionMode, SearchConfig
 from repro.index import FragmentIndex
 from repro.index.fragment_index import _ragged_arange
 from repro.obs.metrics import get_metrics
+from repro.obs.naming import canonicalize_extras
 from repro.scoring.base import Scorer, batch_scores, block_scores
 from repro.scoring.hits import TopHitList
 from repro.spectra.library import SpectralLibrary
@@ -42,7 +43,10 @@ class ShardStats:
     the sweep path).  ``index_rows`` counts the subset of rows served
     from the fragment-ion index, and ``index_build_time`` accumulates
     real (wall-clock) seconds spent building indexes — engines add it
-    when they construct a searcher.  ``sweep_queries``/``sweep_cohorts``
+    when they construct a searcher.  ``index_load_time`` is its
+    load-many counterpart: wall-clock seconds spent opening persisted
+    index shards (``repro.store``); a run pays build *or* load for a
+    given shard, never both.  ``sweep_queries``/``sweep_cohorts``
     count queries routed through the candidate-major sweep and the
     cohorts they coalesced into; both stay 0 on the per-query path.
     """
@@ -53,6 +57,7 @@ class ShardStats:
     rows_scored: int = 0
     index_rows: int = 0
     index_build_time: float = 0.0
+    index_load_time: float = 0.0
     sweep_queries: int = 0
     sweep_cohorts: int = 0
 
@@ -63,6 +68,7 @@ class ShardStats:
         self.rows_scored += other.rows_scored
         self.index_rows += other.index_rows
         self.index_build_time += other.index_build_time
+        self.index_load_time += other.index_load_time
         self.sweep_queries += other.sweep_queries
         self.sweep_cohorts += other.sweep_cohorts
 
@@ -83,6 +89,7 @@ class ShardSearcher:
         config: SearchConfig,
         scorer: Optional[Scorer] = None,
         library: Optional[SpectralLibrary] = None,
+        index: Optional[FragmentIndex] = None,
     ):
         self.shard = shard
         self.config = config
@@ -97,7 +104,11 @@ class ShardSearcher:
         # every query this searcher ever sees.  Only REAL execution with
         # an index-capable scorer pays the build; MODELED runs never
         # score, and a library-backed likelihood model needs per-candidate
-        # lookups the index cannot serve.
+        # lookups the index cannot serve.  A caller may hand in a
+        # pre-built ``index`` (typically a memmap-backed view opened from
+        # a ``repro.store`` directory) — then no build happens here and
+        # ``index_build_time`` stays 0; the preloaded view serves scores
+        # bitwise identical to an in-process build.
         self.index = None
         self.index_build_time = 0.0
         if (
@@ -106,6 +117,9 @@ class ShardSearcher:
             and getattr(self.scorer, "score_index", None) is not None
             and getattr(self.scorer, "indexable", True)
         ):
+            if index is not None:
+                self.index = index
+                return
             obs = get_metrics()
             with obs.span("index.build", category="index", shard_bytes=shard.nbytes):
                 self.index = FragmentIndex(
@@ -591,11 +605,45 @@ class ShardSearcher:
         return int(self.count_each(list(queries)).sum())
 
 
+def index_compat_problems(
+    config: SearchConfig, scorer: Optional[Scorer] = None
+) -> List[str]:
+    """Configuration contradictions that make a persisted index unusable.
+
+    Returns human-readable problems (empty == servable).  These are the
+    *contradictions* — options under which no fragment index would ever
+    be consulted.  Parameter mismatches (a different fragment tolerance
+    or index_max_length) are deliberately NOT problems: probes are exact
+    at any tolerance and ``index_max_length`` only moves the
+    index/direct split, so results stay bitwise identical either way.
+    """
+    problems: List[str] = []
+    if not config.use_index:
+        problems.append(
+            "use_index is off (--no-index): the search would never consult "
+            "the persisted index"
+        )
+    if config.execution is not ExecutionMode.REAL:
+        problems.append(
+            "modeled execution counts candidates without scoring, so a "
+            "persisted index cannot serve it"
+        )
+    scorer = scorer if scorer is not None else config.make_scorer()
+    if getattr(scorer, "score_index", None) is None or not getattr(
+        scorer, "indexable", True
+    ):
+        problems.append(
+            f"scorer {config.scorer!r} cannot be served from the fragment index"
+        )
+    return problems
+
+
 def search_serial(
     database: ProteinDatabase,
     queries: Sequence[Spectrum],
     config: SearchConfig,
     library: Optional[SpectralLibrary] = None,
+    index_store=None,
 ) -> "SearchReport":
     """Reference serial search: one processor, whole database.
 
@@ -603,24 +651,87 @@ def search_serial(
     the p = 1 baseline for real-speedup numbers (the paper: "any run of
     our Algorithm A at p = 1 is equivalent to the uni-worker processor
     run of MSPolygraph").
+
+    ``index_store`` (a :class:`repro.store.StoredIndex`) serves the
+    search from a persisted single-shard index instead of building one
+    in-process: the store is fingerprint-validated against ``database``,
+    the shard's arrays are memory-mapped read-only, and hits are bitwise
+    identical to the rebuild path.  Virtual time then charges
+    ``CostModel.index_load_time`` instead of ``index_build_time``.
     """
     from repro.core.results import SearchReport  # deferred: results imports Hit types
 
-    searcher = ShardSearcher(database, config, library=library)
+    loaded = None
+    if index_store is not None:
+        from repro.errors import IndexCompatError
+
+        problems = index_compat_problems(config)
+        if index_store.num_shards != 1:
+            problems.append(
+                f"the serial engine searches one shard but the store holds "
+                f"{index_store.num_shards}; rebuild with --shards 1 or use "
+                f"the multiproc engine"
+            )
+        if problems:
+            raise IndexCompatError(
+                "this search cannot be served from the persisted index: "
+                + "; ".join(problems)
+            )
+        index_store.validate_against(database)
+        loaded = index_store.load_shard(0)
+        searcher = ShardSearcher(
+            loaded.shard, config, library=library, index=loaded.index
+        )
+    else:
+        searcher = ShardSearcher(database, config, library=library)
     hitlists: Dict[int, TopHitList] = {}
     stats = searcher.run(queries, hitlists)
     stats.index_build_time += searcher.index_build_time
+    if loaded is not None:
+        stats.index_load_time += loaded.seconds
     cost = config.cost
     index_fragments = searcher.index.num_fragments if searcher.index is not None else 0
+    index_time = (
+        cost.index_load_time(loaded.nbytes, 1)
+        if loaded is not None
+        else cost.index_build_time(index_fragments)
+    )
     virtual = (
         cost.load_time(database.nbytes, len(queries))
         + cost.scan_time(database.nbytes)
-        + cost.index_build_time(index_fragments)
+        + index_time
         + cost.search_evaluation_time(stats, searcher.scorer)
         + cost.query_processing_overhead(stats, len(queries))
         + cost.report_time(sum(min(len(h), config.tau) for h in hitlists.values()))
     )
     hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+    extras = {
+        "batches": stats.batches,
+        "rows_scored": stats.rows_scored,
+        "index_rows": stats.index_rows,
+        "index_build_time": stats.index_build_time,
+        "index_load_time": stats.index_load_time,
+        "index_probe_fraction": stats.index_rows / stats.rows_scored
+        if stats.rows_scored
+        else 0.0,
+        "sweep_queries": stats.sweep_queries,
+        "sweep_cohorts": stats.sweep_cohorts,
+        "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
+    }
+    if index_store is not None:
+        extras["index_provenance"] = index_store.provenance("loaded")
+        extras["index_mmap_bytes"] = loaded.nbytes
+    elif searcher.index is not None:
+        from repro.store import build_config_from_search, rebuilt_provenance
+
+        extras["index_provenance"] = rebuilt_provenance(
+            database,
+            build_config_from_search(
+                num_shards=1,
+                fragment_tolerance=config.fragment_tolerance,
+                index_max_length=config.index_max_length,
+            ),
+        )
     return SearchReport(
         algorithm="serial",
         num_ranks=1,
@@ -628,16 +739,5 @@ def search_serial(
         candidates_evaluated=stats.candidates_evaluated,
         virtual_time=virtual,
         peak_memory={0: cost.shard_bytes(database) + sum(q.nbytes for q in queries)},
-        extras={
-            "batches": stats.batches,
-            "rows_scored": stats.rows_scored,
-            "index_rows": stats.index_rows,
-            "index_build_time": stats.index_build_time,
-            "index_probe_fraction": stats.index_rows / stats.rows_scored
-            if stats.rows_scored
-            else 0.0,
-            "sweep_queries": stats.sweep_queries,
-            "sweep_cohorts": stats.sweep_cohorts,
-            "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
-        },
+        extras=canonicalize_extras(extras),
     )

@@ -47,7 +47,7 @@ from repro.chem.protein import ProteinDatabase
 from repro.core.config import SearchConfig
 from repro.core.partition import partition_database, partition_queries
 from repro.core.results import SearchReport, merge_rank_hits
-from repro.core.search import ShardSearcher, ShardStats
+from repro.core.search import ShardSearcher, ShardStats, index_compat_problems
 from repro.faults.checkpoint import CheckpointManager
 from repro.faults.injector import FaultInjector
 from repro.faults.supervisor import RetryPolicy
@@ -95,8 +95,8 @@ def _shard_wire_nbytes(wire: _ShardWire) -> int:
 
 _TASK_CONTEXT: Optional[Dict[str, Any]] = None
 #: per-process rebuilt state: {"searchers": {shard_id: ShardSearcher},
-#: "queries": {block_id: [Spectrum]}}
-_PROCESS_CACHE: Dict[str, Dict[int, Any]] = {}
+#: "queries": {block_id: [Spectrum]}, "store": StoredIndex (mmap-once)}
+_PROCESS_CACHE: Dict[str, Any] = {}
 
 
 def _install_context(context: Optional[Dict[str, Any]]) -> None:
@@ -124,20 +124,38 @@ def _cached_queries(block_id: int) -> List[Spectrum]:
     return queries
 
 
-def _cached_searcher(shard_id: int) -> Tuple[ShardSearcher, float]:
-    """Per-process searcher for ``shard_id``; returns (searcher, build_s).
+def _cached_searcher(shard_id: int) -> Tuple[ShardSearcher, float, float]:
+    """Per-process searcher for ``shard_id``; returns
+    ``(searcher, build_s, load_s)``.
 
-    ``build_s`` is the wall-clock seconds spent building on *this* call —
-    zero on a cache hit — so callers charge index construction once per
-    process instead of once per task.
+    ``build_s`` / ``load_s`` are the wall-clock seconds spent building or
+    loading on *this* call — zero on a cache hit — so callers charge
+    index construction (or store mapping) once per process, not once per
+    task.  With an ``index_path`` in the context (mmap-once transport),
+    the shard and its fragment index come out of the persisted store as
+    read-only memory maps: nothing but the path string ever crossed the
+    process boundary, and clean index pages are shared between workers
+    by the OS page cache.
     """
     cache = _PROCESS_CACHE.setdefault("searchers", {})
     searcher = cache.get(shard_id)
     if searcher is not None:
-        return searcher, 0.0
+        return searcher, 0.0, 0.0
+    index_path = _TASK_CONTEXT.get("index_path")
+    if index_path is not None:
+        from repro.store import open_index
+
+        store = _PROCESS_CACHE.get("store")
+        if store is None:
+            store = _PROCESS_CACHE["store"] = open_index(index_path)
+        loaded = store.load_shard(shard_id)
+        searcher = cache[shard_id] = ShardSearcher(
+            loaded.shard, _TASK_CONTEXT["config"], index=loaded.index
+        )
+        return searcher, 0.0, loaded.seconds
     shard = ProteinDatabase.from_buffers(*_TASK_CONTEXT["shard_wires"][shard_id])
     searcher = cache[shard_id] = ShardSearcher(shard, _TASK_CONTEXT["config"])
-    return searcher, searcher.index_build_time
+    return searcher, searcher.index_build_time, 0.0
 
 
 def _worker(
@@ -157,11 +175,12 @@ def _worker(
         injector = _TASK_CONTEXT.get("injector")
         if injector is not None:
             injector.fire(task_id, attempt)
-        searcher, built = _cached_searcher(shard_id)
+        searcher, built, loaded = _cached_searcher(shard_id)
         queries = _cached_queries(block_id)
         hitlists: Dict[int, TopHitList] = {}
         stats = searcher.run(queries, hitlists)
         stats.index_build_time += built
+        stats.index_load_time += loaded
         # Blocks travel mass-sorted (sweep locality); emit hits in the
         # caller's original query order so output is independent of the sort.
         order = _TASK_CONTEXT["block_qids"][block_id]
@@ -294,6 +313,7 @@ def run_multiprocess_search(
     checkpoint_interval: int = 1,
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
+    index_path: Optional[str] = None,
 ) -> SearchReport:
     """Search with real OS processes; returns wall-clock in virtual_time.
 
@@ -313,6 +333,14 @@ def run_multiprocess_search(
     hung workers, ``checkpoint_path`` + ``resume`` persist and reuse
     completed-task state, and ``fault_injector`` deterministically
     injects failures for tests.
+
+    ``index_path`` switches transport from ship-once to *mmap-once*: the
+    path must name a ``repro.store`` directory (fingerprint-validated
+    against ``database`` up front), the shard layout is the store's, and
+    workers memory-map their shards and fragment indexes from disk —
+    only the path string crosses the process boundary, so
+    ``bytes_shipped`` drops to the packed queries plus task ids, and
+    hits remain bitwise identical to the rebuild path.
     """
     config = config or SearchConfig()
     if num_workers is None:
@@ -322,8 +350,26 @@ def run_multiprocess_search(
     if query_blocks < 1:
         raise ValueError(f"query_blocks must be >= 1, got {query_blocks}")
     policy = retry_policy or RetryPolicy(max_retries=max_retries)
-    nshards = num_workers * max(1, shards_per_worker)
-    shards = [s for s in partition_database(database, nshards) if len(s) > 0]
+    store = None
+    if index_path is not None:
+        from repro.errors import IndexCompatError
+        from repro.store import open_index
+
+        problems = index_compat_problems(config)
+        if problems:
+            raise IndexCompatError(
+                "this search cannot be served from the persisted index: "
+                + "; ".join(problems)
+            )
+        store = open_index(index_path)
+        store.validate_against(database)
+        num_shards = store.num_shards
+        shards = None
+        shard_bytes = [layout.shard_nbytes for layout in store.layouts]
+    else:
+        nshards = num_workers * max(1, shards_per_worker)
+        shards = [s for s in partition_database(database, nshards) if len(s) > 0]
+        num_shards = len(shards)
     nblocks = min(query_blocks, len(queries)) or 1
     blocks = partition_queries(list(queries), nblocks)
     # Pack each block sorted by precursor mass (stable): the sweep path
@@ -332,32 +378,39 @@ def run_multiprocess_search(
     # kept alongside so workers emit hits in caller order.
     block_qids = [[q.query_id for q in block] for block in blocks]
     blocks = [sorted(block, key=lambda q: q.parent_mass) for block in blocks]
-    shard_wires = [shard.to_buffers() for shard in shards]
     block_wires = [[_pack_spectrum(q) for q in block] for block in blocks]
     obs = get_metrics()
     context: Dict[str, Any] = {
-        "shard_wires": shard_wires,
         "query_blocks": block_wires,
         "block_qids": block_qids,
         "config": config,
         "injector": fault_injector,
         "metrics": obs.enabled,
     }
+    if store is not None:
+        context["index_path"] = str(index_path)
+    else:
+        shard_wires = [shard.to_buffers() for shard in shards]
+        context["shard_wires"] = shard_wires
+        shard_bytes = [_shard_wire_nbytes(w) for w in shard_wires]
     # task_id = shard_id * nblocks + block_id keeps task_id == shard_id
     # in the default single-block layout (checkpoint compatibility).
     tasks = {
         shard_id * nblocks + block_id: (shard_id, block_id)
-        for shard_id in range(len(shards))
+        for shard_id in range(num_shards)
         for block_id in range(nblocks)
     }
     num_tasks = len(tasks)
 
     # Transport accounting: what actually crosses a process boundary
     # (context once + id tuples per task) vs. the replicated baseline
-    # that re-ships each task's shard and the full query set.
-    shard_bytes = [_shard_wire_nbytes(w) for w in shard_wires]
+    # that re-ships each task's shard and the full query set.  With a
+    # store, the shard contribution collapses to the path string; the
+    # mapped bytes are reported separately as index_mmap_bytes (they
+    # travel through the page cache, not a process boundary).
     block_bytes = [sum(_spectrum_wire_nbytes(w) for w in wires) for wires in block_wires]
-    context_bytes = sum(shard_bytes) + sum(block_bytes)
+    shard_ship_bytes = len(str(index_path).encode()) if store is not None else sum(shard_bytes)
+    context_bytes = shard_ship_bytes + sum(block_bytes)
     bytes_tasks = _TASK_WIRE_BYTES * num_tasks
     bytes_replicated = sum(
         shard_bytes[sid] + block_bytes[bid] for sid, bid in tasks.values()
@@ -367,7 +420,7 @@ def run_multiprocess_search(
     tasks_resumed = 0
     if checkpoint_path is not None:
         fingerprint = {
-            "num_shards": len(shards),
+            "num_shards": num_shards,
             "num_queries": len(queries),
             "tau": config.tau,
             "delta": config.delta,
@@ -451,34 +504,51 @@ def run_multiprocess_search(
     # make empty hit lists visible for queries with no candidates anywhere
     for q in queries:
         hits.setdefault(q.query_id, [])
+    extras = {
+        "num_shards": num_shards,
+        "query_blocks": nblocks,
+        "wall_time": wall,
+        "batches": batches,
+        "rows_scored": rows_scored,
+        "index_rows": index_rows,
+        "index_build_time": stats.index_build_time,
+        "index_load_time": stats.index_load_time,
+        "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
+        "sweep_queries": stats.sweep_queries,
+        "sweep_cohorts": stats.sweep_cohorts,
+        "candidates_per_second": candidates / wall if wall > 0 else 0.0,
+        "bytes_shipped": context_bytes + bytes_tasks,
+        "bytes_shipped_setup": context_bytes,
+        "bytes_shipped_tasks": bytes_tasks,
+        "bytes_shipped_replicated": bytes_replicated,
+        "tasks_total": num_tasks,
+        "tasks_completed": len(supervisor.results),
+        "tasks_resumed": tasks_resumed,
+        "retries": supervisor.retries,
+        "timeouts": supervisor.timeouts,
+        "failed_tasks": supervisor.failed_tasks,
+        "degraded": bool(supervisor.failed_tasks),
+    }
+    if store is not None:
+        extras["index_path"] = str(index_path)
+        extras["index_mmap_bytes"] = int(store.nbytes)
+        extras["index_provenance"] = store.provenance("loaded")
+    elif not index_compat_problems(config):
+        from repro.store import build_config_from_search, rebuilt_provenance
+
+        extras["index_provenance"] = rebuilt_provenance(
+            database,
+            build_config_from_search(
+                num_shards=num_shards,
+                fragment_tolerance=config.fragment_tolerance,
+                index_max_length=config.index_max_length,
+            ),
+        )
     return SearchReport(
         algorithm="multiprocess",
         num_ranks=num_workers,
         hits=hits,
         candidates_evaluated=candidates,
         virtual_time=wall,
-        extras=canonicalize_extras({
-            "num_shards": len(shards),
-            "query_blocks": nblocks,
-            "wall_time": wall,
-            "batches": batches,
-            "rows_scored": rows_scored,
-            "index_rows": index_rows,
-            "index_build_time": stats.index_build_time,
-            "index_probe_fraction": index_rows / rows_scored if rows_scored else 0.0,
-            "sweep_queries": stats.sweep_queries,
-            "sweep_cohorts": stats.sweep_cohorts,
-            "candidates_per_second": candidates / wall if wall > 0 else 0.0,
-            "bytes_shipped": context_bytes + bytes_tasks,
-            "bytes_shipped_setup": context_bytes,
-            "bytes_shipped_tasks": bytes_tasks,
-            "bytes_shipped_replicated": bytes_replicated,
-            "tasks_total": num_tasks,
-            "tasks_completed": len(supervisor.results),
-            "tasks_resumed": tasks_resumed,
-            "retries": supervisor.retries,
-            "timeouts": supervisor.timeouts,
-            "failed_tasks": supervisor.failed_tasks,
-            "degraded": bool(supervisor.failed_tasks),
-        }),
+        extras=canonicalize_extras(extras),
     )

@@ -94,3 +94,27 @@ class WorkerCrashError(ReproError, RuntimeError):
 class CheckpointError(ReproError, ValueError):
     """A checkpoint file is unreadable or belongs to a different run
     (mismatched shard count, search parameters, or query workload)."""
+
+
+class IndexStoreError(ReproError, ValueError):
+    """A persisted fragment-index directory cannot be trusted.
+
+    Raised by :mod:`repro.store` when an index directory is missing, its
+    header is unreadable or carries an unknown schema version, a buffer
+    is truncated or disagrees with the manifest, or the content
+    fingerprint does not match the database/configuration the caller is
+    searching.  A stale or corrupt index must be *rejected*, never
+    silently served: the build-once/load-many contract only holds if a
+    loaded index is bitwise-equivalent to an in-process rebuild.
+    """
+
+
+class IndexCompatError(ConfigError):
+    """A search was configured with options a persisted index cannot serve.
+
+    Raised when ``--index-path`` is combined with options that
+    contradict it (``--no-index``, a simulated engine, a non-indexable
+    scorer, a shard layout the store does not hold).  Subclasses
+    :class:`ConfigError` because it is a configuration contradiction,
+    not a corrupt store.
+    """

@@ -1,5 +1,6 @@
 """Shard-resident fragment-ion index (HiCOPS-style precomputation)."""
 
-from repro.index.fragment_index import FragmentIndex
+from repro.index.fragment_index import BuiltIndex, FragmentIndex, IndexBuilder
+from repro.index.layout import ArraySpec, IndexLayout
 
-__all__ = ["FragmentIndex"]
+__all__ = ["ArraySpec", "BuiltIndex", "FragmentIndex", "IndexBuilder", "IndexLayout"]

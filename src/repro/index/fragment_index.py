@@ -5,8 +5,7 @@ The scoring hot path regenerates theoretical fragment arrays for every
 therefore their fragment m/z values — never change.  Following the
 HiCOPS observation that a precomputed fragment-ion index amortized over
 all queries is the decisive optimization for large-scale MS search, this
-module enumerates a shard's candidate spans *once* at
-:class:`~repro.core.search.ShardSearcher` construction, generates every
+module enumerates a shard's candidate spans *once*, generates every
 fragment m/z with the existing batched kernels, and stores two
 structures:
 
@@ -23,6 +22,23 @@ Rows are *precursor-major*: spans are sorted by unmodified span mass, so
 a query's candidate set occupies one contiguous row range and posting
 probes never touch candidates outside the query's mass window.
 
+Builder/view split
+------------------
+Construction and consumption are separate types:
+
+* :class:`IndexBuilder` is pure construction: it turns a shard into a
+  :class:`BuiltIndex` — a schema-versioned
+  :class:`~repro.index.layout.IndexLayout` descriptor plus a dict of
+  named, contiguous flat arrays (every matrix flattened to a 1-D
+  buffer).  Nothing in the built state is an object graph, which is
+  what makes zero-copy persistence possible (see :mod:`repro.store`).
+* :class:`FragmentIndex` is a *read-only view* wired over such arrays.
+  It is agnostic to their backing: the heap arrays a fresh build
+  produces and the ``np.memmap`` arrays ``repro.store.open_index``
+  returns serve bit-for-bit identical scores.  The legacy constructor
+  signature (``FragmentIndex(shard, ...)``) still builds in-process by
+  delegating to :class:`IndexBuilder`.
+
 Exactness contract
 ------------------
 Every value served from the index is produced by the same batched
@@ -30,7 +46,9 @@ kernels the direct :class:`~repro.candidates.batch.CandidateBatch` path
 runs per query, and every probe evaluates the same match predicate
 (``p - tol <= f <= p + tol`` on identically-computed floats), so
 index-served scores are bitwise identical to ``batch_scores`` — the
-property test in ``tests/property/test_prop_index.py`` enforces it.
+property tests in ``tests/property/test_prop_index.py`` and
+``tests/property/test_prop_persist.py`` enforce it for heap- and
+memmap-backed views alike.
 
 Coverage is bounded: only unmodified spans with
 ``2 <= length <= max_length`` are indexed (indexing *all* prefixes and
@@ -45,13 +63,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.candidates.mass_index import CandidateSpans, MassIndex
 from repro.chem.amino_acids import mass_table
 from repro.chem.protein import ProteinDatabase
+from repro.index.layout import ArraySpec, IndexLayout
 from repro.spectra.binning import row_segment_sums
 from repro.spectra.theoretical import IonSeries, by_ion_ladder_rows, fragment_mz_rows
 
@@ -129,7 +148,12 @@ class _PostingList:
 
 @dataclass(frozen=True)
 class _LengthGroup:
-    """Cached fragment matrices for all indexed spans of one length."""
+    """Cached fragment matrices for all indexed spans of one length.
+
+    The matrices are 2-D *views* into the flat ``group_ladder`` /
+    ``group_b`` / ``group_y`` buffers — zero copy whether those buffers
+    live on the heap or in a memory map.
+    """
 
     length: int
     rows: np.ndarray  # global row ids, ascending
@@ -144,25 +168,98 @@ class _LengthGroup:
         )
 
 
-class FragmentIndex:
-    """Precomputed fragment arrays + posting lists for one shard."""
+def _build_postings(
+    parts, bin_width: float, num_rows: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Flatten (matrix, rows, series) parts into sorted posting arrays.
+
+    Returns ``(key, mz, row, series, bin_start)``; ``series`` is None
+    for the untagged ladder list.
+    """
+    parts = [(m, r, s) for m, r, s in parts if m.size]
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0), empty, None, np.zeros(1, dtype=np.int64)
+    mz = np.concatenate([m.ravel() for m, _r, _s in parts])
+    row = np.concatenate([np.repeat(r, m.shape[1]) for m, r, _s in parts])
+    tagged = parts[0][2] is not None
+    series = (
+        np.concatenate([np.full(m.size, s, dtype=np.uint8) for m, _r, s in parts])
+        if tagged
+        else None
+    )
+    bins = (mz / bin_width).astype(np.int64)
+    key = bins * (num_rows + 1) + row
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    bins_sorted = sorted_key // (num_rows + 1)
+    num_bins = int(bins_sorted[-1]) + 1
+    bin_start = np.searchsorted(bins_sorted, np.arange(num_bins + 1))
+    return (
+        sorted_key,
+        mz[order],
+        row[order],
+        series[order] if series is not None else None,
+        bin_start,
+    )
+
+
+@dataclass
+class BuiltIndex:
+    """One shard's freshly built index state: layout + named flat arrays.
+
+    ``arrays`` includes the shard's own buffers (``shard_residues`` /
+    ``shard_offsets`` / ``shard_ids``) so a persisted index directory is
+    self-contained: a loader needs nothing beyond the directory to serve
+    searches.  ``view()`` wires a read-only :class:`FragmentIndex` over
+    the arrays.
+    """
+
+    layout: IndexLayout
+    arrays: Dict[str, np.ndarray]
+    shard: ProteinDatabase
+    build_time: float
+
+    def view(self) -> "FragmentIndex":
+        index = FragmentIndex.from_arrays(self.layout, self.arrays, shard=self.shard)
+        index.build_time = self.build_time
+        return index
+
+
+class IndexBuilder:
+    """Pure construction: a shard in, schema-versioned flat arrays out.
+
+    Holds only build parameters; :meth:`build` has no side effects on
+    the builder, so one builder can be reused across shards (the store
+    builds every shard of a partition through a single instance).
+    """
 
     def __init__(
         self,
-        shard: ProteinDatabase,
-        mass_index: Optional[MassIndex] = None,
         *,
         fragment_tolerance: float = 0.5,
         max_length: int = 48,
         monoisotopic: bool = True,
     ):
         if fragment_tolerance <= 0:
-            raise ValueError(f"fragment_tolerance must be > 0, got {fragment_tolerance}")
+            raise ValueError(
+                f"fragment_tolerance must be > 0, got {fragment_tolerance}"
+            )
         if max_length < 2:
             raise ValueError(f"max_length must be >= 2, got {max_length}")
-        build_start = time.perf_counter()
-        self.shard = shard
+        self.fragment_tolerance = float(fragment_tolerance)
         self.max_length = int(max_length)
+        self.monoisotopic = bool(monoisotopic)
+        # Bin width covers a full tolerance window so a probe at build
+        # tolerance spans at most two bins; probes at other tolerances
+        # remain exact (they scan however many bins the window covers).
+        self.bin_width = max(2.0 * self.fragment_tolerance, 0.25)
+
+    def build(
+        self, shard: ProteinDatabase, mass_index: Optional[MassIndex] = None
+    ) -> BuiltIndex:
+        """Enumerate, fragment, and sort one shard into flat arrays."""
+        build_start = time.perf_counter()
         index = mass_index if mass_index is not None else MassIndex(shard)
 
         spans = index.candidates_in_window(0.0, np.inf)
@@ -173,111 +270,225 @@ class FragmentIndex:
         # Precursor-major row order: a query window maps to one contiguous
         # row range, which the posting-probe row restriction relies on.
         spans = spans.take(np.argsort(spans.mass, kind="stable"))
-        self.num_rows = len(spans)
-        self.row_length = spans.lengths
+        num_rows = len(spans)
+        row_length = np.ascontiguousarray(spans.lengths, dtype=np.int64)
 
         # Span -> row maps keyed on flat residue position: a prefix span
         # is identified by the position it ends at, a suffix span by the
         # position it starts at (full-length spans are enumerated once,
         # as prefixes, matching CandidateGenerator's span sets).
         n_flat = len(shard.residues)
-        self._prefix_row = np.full(n_flat, -1, dtype=np.int64)
-        self._suffix_row = np.full(n_flat, -1, dtype=np.int64)
+        prefix_row = np.full(n_flat, -1, dtype=np.int64)
+        suffix_row = np.full(n_flat, -1, dtype=np.int64)
         off = shard.offsets[spans.seq_index]
-        rows = np.arange(self.num_rows, dtype=np.int64)
+        rows = np.arange(num_rows, dtype=np.int64)
         is_prefix = spans.start == 0
         pre = np.nonzero(is_prefix)[0]
         suf = np.nonzero(~is_prefix)[0]
-        self._prefix_row[off[pre] + spans.stop[pre] - 1] = rows[pre]
-        self._suffix_row[off[suf] + spans.start[suf]] = rows[suf]
+        prefix_row[off[pre] + spans.stop[pre] - 1] = rows[pre]
+        suffix_row[off[suf] + spans.start[suf]] = rows[suf]
 
         # Per-length dense fragment matrices, generated with the same
-        # batched kernels the direct scoring path runs per query.
-        self._group_pos = np.empty(self.num_rows, dtype=np.int64)
-        self._groups: Dict[int, _LengthGroup] = {}
-        table = mass_table(monoisotopic)
+        # batched kernels the direct scoring path runs per query, then
+        # flattened into one contiguous buffer per matrix kind.
+        group_pos = np.empty(num_rows, dtype=np.int64)
+        table = mass_table(self.monoisotopic)
         abs_start = off + spans.start
-        unique_lengths = np.unique(self.row_length) if self.num_rows else ()
+        unique_lengths = np.unique(row_length) if num_rows else np.empty(0, np.int64)
+        group_rows: List[np.ndarray] = []
+        ladders: List[np.ndarray] = []
+        b_mats: List[np.ndarray] = []
+        y_mats: List[np.ndarray] = []
         for length in unique_lengths:
             length = int(length)
-            grp_rows = np.nonzero(self.row_length == length)[0]
+            grp_rows = np.nonzero(row_length == length)[0]
             mat = shard.residues[abs_start[grp_rows][:, None] + np.arange(length)]
             mass_rows = table[mat]
+            group_rows.append(grp_rows)
+            ladders.append(by_ion_ladder_rows(mass_rows))
+            b_mats.append(fragment_mz_rows(mass_rows, IonSeries.B))
+            y_mats.append(fragment_mz_rows(mass_rows, IonSeries.Y))
+            group_pos[grp_rows] = np.arange(len(grp_rows), dtype=np.int64)
+
+        lad_key, lad_mz, lad_row, _lad_series, lad_bin_start = _build_postings(
+            [(m, r, None) for m, r in zip(ladders, group_rows)],
+            self.bin_width,
+            num_rows,
+        )
+        ser_key, ser_mz, ser_row, ser_tag, ser_bin_start = _build_postings(
+            [(m, r, _SERIES_CODE["b"]) for m, r in zip(b_mats, group_rows)]
+            + [(m, r, _SERIES_CODE["y"]) for m, r in zip(y_mats, group_rows)],
+            self.bin_width,
+            num_rows,
+        )
+        if ser_tag is None:  # empty shard: keep the tag column materialized
+            ser_tag = np.empty(0, dtype=np.uint8)
+
+        def _cat(mats: List[np.ndarray], dtype) -> np.ndarray:
+            if not mats:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate([np.ascontiguousarray(m).ravel() for m in mats])
+
+        counts = np.array([len(r) for r in group_rows], dtype=np.int64)
+        arrays: Dict[str, np.ndarray] = {
+            "shard_residues": shard.residues,
+            "shard_offsets": shard.offsets,
+            "shard_ids": shard.ids,
+            "row_length": row_length,
+            "prefix_row": prefix_row,
+            "suffix_row": suffix_row,
+            "group_pos": group_pos,
+            "group_lengths": np.ascontiguousarray(unique_lengths, dtype=np.int64),
+            "group_row_splits": np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.int64),
+            "group_rows": _cat(group_rows, np.int64),
+            "group_ladder": _cat(ladders, np.float64),
+            "group_b": _cat(b_mats, np.float64),
+            "group_y": _cat(y_mats, np.float64),
+            "ladder_key": lad_key,
+            "ladder_mz": lad_mz,
+            "ladder_row": lad_row,
+            "ladder_bin_start": lad_bin_start,
+            "series_key": ser_key,
+            "series_mz": ser_mz,
+            "series_row": ser_row,
+            "series_tag": ser_tag,
+            "series_bin_start": ser_bin_start,
+        }
+        layout = IndexLayout(
+            num_rows=num_rows,
+            max_length=self.max_length,
+            bin_width=self.bin_width,
+            num_fragments=len(lad_mz) + len(ser_mz),
+            fragment_tolerance=self.fragment_tolerance,
+            monoisotopic=self.monoisotopic,
+            arrays={
+                name: ArraySpec(str(a.dtype), tuple(a.shape))
+                for name, a in arrays.items()
+            },
+        )
+        return BuiltIndex(
+            layout=layout,
+            arrays=arrays,
+            shard=shard,
+            build_time=time.perf_counter() - build_start,
+        )
+
+
+class FragmentIndex:
+    """Read-only view over one shard's flat index arrays.
+
+    ``FragmentIndex(shard, ...)`` builds in-process (delegating to
+    :class:`IndexBuilder`); :meth:`from_arrays` wires a view over
+    existing arrays — heap or memmap — without building anything.
+    """
+
+    def __init__(
+        self,
+        shard: ProteinDatabase,
+        mass_index: Optional[MassIndex] = None,
+        *,
+        fragment_tolerance: float = 0.5,
+        max_length: int = 48,
+        monoisotopic: bool = True,
+    ):
+        built = IndexBuilder(
+            fragment_tolerance=fragment_tolerance,
+            max_length=max_length,
+            monoisotopic=monoisotopic,
+        ).build(shard, mass_index)
+        self._wire(shard, built.layout, built.arrays)
+        self.build_time = built.build_time
+
+    @classmethod
+    def from_arrays(
+        cls,
+        layout: IndexLayout,
+        arrays: Dict[str, np.ndarray],
+        shard: Optional[ProteinDatabase] = None,
+    ) -> "FragmentIndex":
+        """Wire a view over existing arrays; no construction happens.
+
+        ``shard`` defaults to a ProteinDatabase rebuilt zero-copy from
+        the layout's own ``shard_*`` buffers, so a persisted directory
+        is self-contained.  ``build_time`` is 0: a loaded view never
+        paid a build.
+        """
+        if shard is None:
+            shard = ProteinDatabase.from_buffers(
+                arrays["shard_residues"], arrays["shard_offsets"], arrays["shard_ids"]
+            )
+        self = cls.__new__(cls)
+        self._wire(shard, layout, arrays)
+        self.build_time = 0.0
+        return self
+
+    def _wire(
+        self,
+        shard: ProteinDatabase,
+        layout: IndexLayout,
+        arrays: Dict[str, np.ndarray],
+    ) -> None:
+        """Attach views over ``arrays``; shared by build and load paths."""
+        self.shard = shard
+        self.layout = layout
+        self.arrays = arrays
+        self.num_rows = layout.num_rows
+        self.max_length = layout.max_length
+        self.bin_width = layout.bin_width
+        self.num_fragments = layout.num_fragments
+        self.row_length = arrays["row_length"]
+        self._prefix_row = arrays["prefix_row"]
+        self._suffix_row = arrays["suffix_row"]
+        self._group_pos = arrays["group_pos"]
+        self._groups: Dict[int, _LengthGroup] = {}
+        g_len = arrays["group_lengths"]
+        splits = arrays["group_row_splits"]
+        flat_rows = arrays["group_rows"]
+        lad, b_flat, y_flat = (
+            arrays["group_ladder"],
+            arrays["group_b"],
+            arrays["group_y"],
+        )
+        lad_off = ser_off = 0
+        for g in range(len(g_len)):
+            length = int(g_len[g])
+            lo, hi = int(splits[g]), int(splits[g + 1])
+            n, w = hi - lo, length - 1
             self._groups[length] = _LengthGroup(
                 length=length,
-                rows=grp_rows,
-                ladder=by_ion_ladder_rows(mass_rows),
-                b=fragment_mz_rows(mass_rows, IonSeries.B),
-                y=fragment_mz_rows(mass_rows, IonSeries.Y),
+                rows=flat_rows[lo:hi],
+                ladder=lad[lad_off : lad_off + n * 2 * w].reshape(n, 2 * w),
+                b=b_flat[ser_off : ser_off + n * w].reshape(n, w),
+                y=y_flat[ser_off : ser_off + n * w].reshape(n, w),
             )
-            self._group_pos[grp_rows] = np.arange(len(grp_rows), dtype=np.int64)
-
-        # Bin width covers a full tolerance window so a probe at build
-        # tolerance spans at most two bins; probes at other tolerances
-        # remain exact (they scan however many bins the window covers).
-        self.bin_width = max(2.0 * float(fragment_tolerance), 0.25)
-        groups = self._groups.values()
-        self._ladder_postings = self._build_postings(
-            [(g.ladder, g.rows, None) for g in groups]
+            lad_off += n * 2 * w
+            ser_off += n * w
+        self._ladder_postings = _PostingList(
+            arrays["ladder_key"],
+            arrays["ladder_mz"],
+            arrays["ladder_row"],
+            None,
+            arrays["ladder_bin_start"],
         )
-        self._series_postings = self._build_postings(
-            [(g.b, g.rows, _SERIES_CODE["b"]) for g in groups]
-            + [(g.y, g.rows, _SERIES_CODE["y"]) for g in groups]
+        self._series_postings = _PostingList(
+            arrays["series_key"],
+            arrays["series_mz"],
+            arrays["series_row"],
+            arrays["series_tag"],
+            arrays["series_bin_start"],
         )
-        self.num_fragments = len(self._ladder_postings.mz) + len(
-            self._series_postings.mz
-        )
-        self.build_time = time.perf_counter() - build_start
-
-    def _build_postings(self, parts) -> _PostingList:
-        """Flatten (matrix, rows, series) parts into one sorted posting list."""
-        parts = [(m, r, s) for m, r, s in parts if m.size]
-        if not parts:
-            empty = np.empty(0, dtype=np.int64)
-            return _PostingList(
-                empty, np.empty(0), empty, None, np.zeros(1, dtype=np.int64)
-            )
-        mz = np.concatenate([m.ravel() for m, _r, _s in parts])
-        row = np.concatenate(
-            [np.repeat(r, m.shape[1]) for m, r, _s in parts]
-        )
-        tagged = parts[0][2] is not None
-        series = (
-            np.concatenate(
-                [np.full(m.size, s, dtype=np.uint8) for m, _r, s in parts]
-            )
-            if tagged
-            else None
-        )
-        bins = (mz / self.bin_width).astype(np.int64)
-        key = bins * (self.num_rows + 1) + row
-        order = np.argsort(key, kind="stable")
-        sorted_key = key[order]
-        bins_sorted = sorted_key // (self.num_rows + 1)
-        num_bins = int(bins_sorted[-1]) + 1
-        bin_start = np.searchsorted(bins_sorted, np.arange(num_bins + 1))
-        return _PostingList(
-            sorted_key,
-            mz[order],
-            row[order],
-            series[order] if series is not None else None,
-            bin_start,
-        )
+        self.build_time = 0.0
 
     @property
     def nbytes(self) -> int:
-        """Index memory footprint (maps + matrices + posting lists)."""
-        total = (
-            self._prefix_row.nbytes
-            + self._suffix_row.nbytes
-            + self._group_pos.nbytes
-            + self.row_length.nbytes
-            + self._ladder_postings.nbytes
-            + self._series_postings.nbytes
-        )
-        for group in self._groups.values():
-            total += group.nbytes
-        return int(total)
+        """Index memory footprint (maps + matrices + posting lists).
+
+        Excludes the shard's own buffers, matching the historical
+        accounting (the shard is charged separately by whoever holds it).
+        """
+        return int(self.layout.index_nbytes)
 
     # -- span -> row mapping ---------------------------------------------
 

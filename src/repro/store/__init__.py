@@ -1,0 +1,33 @@
+"""Persistent, memory-mappable storage for built fragment indexes.
+
+Build once with :func:`save_index` (or ``repro index build``), then any
+number of searches — in any number of processes — :func:`open_index`
+the directory and serve scores from read-only ``np.memmap`` views that
+are bitwise identical to an in-process rebuild.  See
+``docs/index_persistence.md`` for the on-disk format and the
+fingerprint contract.
+"""
+
+from repro.store.index_store import (
+    HEADER_NAME,
+    STORE_SCHEMA,
+    LoadedShard,
+    StoredIndex,
+    build_config_from_search,
+    compute_fingerprint,
+    open_index,
+    rebuilt_provenance,
+    save_index,
+)
+
+__all__ = [
+    "HEADER_NAME",
+    "STORE_SCHEMA",
+    "LoadedShard",
+    "StoredIndex",
+    "build_config_from_search",
+    "compute_fingerprint",
+    "open_index",
+    "rebuilt_provenance",
+    "save_index",
+]

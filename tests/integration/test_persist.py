@@ -1,0 +1,266 @@
+"""Integration: persisted fragment indexes through the engines and CLI.
+
+The mmap-once transport contract: an engine pointed at a
+``repro index build`` directory returns hits bitwise identical to the
+rebuild path — under both fork and spawn start methods — while shipping
+only a path string to workers instead of the shard buffers.  The CLI
+half covers the build → inspect → search workflow end to end, and that
+every misuse (missing store, stale fingerprint, simulated engine,
+``--no-index`` contradiction, corrupt header) exits with a one-line
+typed error, never a traceback.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import SearchConfig
+from repro.core.results import reports_equal
+from repro.core.search import search_serial
+from repro.engines.multiproc import run_multiprocess_search
+from repro.errors import IndexCompatError, IndexStoreError
+from repro.store import HEADER_NAME, open_index, save_index
+
+_START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _cfg(**kw):
+    return SearchConfig(tau=10, **kw)
+
+
+@pytest.fixture(scope="module")
+def tiny_store(tiny_db, tmp_path_factory):
+    """tiny_db persisted as a 2-shard store (matches 2 workers x 1 shard)."""
+    return save_index(tiny_db, tmp_path_factory.mktemp("store") / "idx", num_shards=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_store_1shard(tiny_db, tmp_path_factory):
+    return save_index(tiny_db, tmp_path_factory.mktemp("store1") / "idx", num_shards=1)
+
+
+class TestMmapTransport:
+    @pytest.mark.parametrize("start_method", _START_METHODS)
+    def test_mmap_round_trip_identical_hits(
+        self, tiny_db, tiny_queries, tiny_store, start_method
+    ):
+        from_store = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+            start_method=start_method, index_path=str(tiny_store.path),
+        )
+        rebuilt = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+            start_method=start_method,
+        )
+        assert reports_equal(from_store, rebuilt)
+        assert reports_equal(search_serial(tiny_db, tiny_queries, _cfg()), from_store)
+        ex = from_store.extras
+        assert ex["index_path"] == str(tiny_store.path)
+        assert ex["index_load_time"] > 0.0
+        assert ex["index_build_time"] == 0.0  # workers mapped, never built
+        assert ex["index_mmap_bytes"] == tiny_store.nbytes
+        assert rebuilt.extras["index_build_time"] > 0.0
+        assert "index_mmap_bytes" not in rebuilt.extras
+
+    @pytest.mark.parametrize("start_method", _START_METHODS)
+    def test_sweep_kernel_over_mmap_index(
+        self, tiny_db, tiny_queries, tiny_store, start_method
+    ):
+        cfg = _cfg(use_sweep=True)
+        from_store = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=cfg,
+            start_method=start_method, index_path=str(tiny_store.path),
+        )
+        assert from_store.extras["sweep_queries"] > 0
+        assert reports_equal(search_serial(tiny_db, tiny_queries, cfg), from_store)
+
+    def test_only_the_path_crosses_the_boundary(
+        self, tiny_db, tiny_queries, tiny_store
+    ):
+        """Setup traffic drops by exactly the shard buffers (replaced by
+        the path string); queries and task ids still ship."""
+        from_store = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+            index_path=str(tiny_store.path),
+        )
+        rebuilt = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+        )
+        shard_buffer_bytes = sum(l.shard_nbytes for l in tiny_store.layouts)
+        path_bytes = len(str(tiny_store.path).encode())
+        saved = (
+            rebuilt.extras["bytes_shipped_setup"]
+            - from_store.extras["bytes_shipped_setup"]
+        )
+        assert saved == shard_buffer_bytes - path_bytes
+        # and the shard contribution really is near-zero: what remains of
+        # the setup payload is the packed queries plus the path string
+        query_wire_bytes = sum(
+            q.mz.nbytes + q.intensity.nbytes + 24 for q in tiny_queries
+        )
+        assert (
+            from_store.extras["bytes_shipped_setup"]
+            == path_bytes + query_wire_bytes
+        )
+
+    def test_provenance_same_fingerprint_different_source(
+        self, tiny_db, tiny_queries, tiny_store
+    ):
+        from_store = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+            index_path=str(tiny_store.path),
+        )
+        rebuilt = run_multiprocess_search(
+            tiny_db, tiny_queries, num_workers=2, config=_cfg(),
+        )
+        loaded_prov = from_store.extras["index_provenance"]
+        rebuilt_prov = rebuilt.extras["index_provenance"]
+        assert loaded_prov["source"] == "loaded"
+        assert rebuilt_prov["source"] == "rebuilt"
+        assert loaded_prov["fingerprint"] == tiny_store.fingerprint
+        assert rebuilt_prov["fingerprint"] == loaded_prov["fingerprint"]
+
+    def test_serial_engine_from_one_shard_store(
+        self, tiny_db, tiny_queries, tiny_store_1shard
+    ):
+        from_store = search_serial(
+            tiny_db, tiny_queries, _cfg(), index_store=tiny_store_1shard
+        )
+        rebuilt = search_serial(tiny_db, tiny_queries, _cfg())
+        assert reports_equal(from_store, rebuilt)
+        assert from_store.extras["index_load_time"] > 0.0
+
+    def test_serial_engine_rejects_multi_shard_store(
+        self, tiny_db, tiny_queries, tiny_store
+    ):
+        with pytest.raises(IndexCompatError, match="one shard"):
+            search_serial(tiny_db, tiny_queries, _cfg(), index_store=tiny_store)
+
+    def test_stale_fingerprint_refused(self, small_db, tiny_queries, tiny_store):
+        with pytest.raises(IndexStoreError, match="different database"):
+            run_multiprocess_search(
+                small_db, tiny_queries, num_workers=2, config=_cfg(),
+                index_path=str(tiny_store.path),
+            )
+
+    def test_index_disabled_contradiction_refused(
+        self, tiny_db, tiny_queries, tiny_store
+    ):
+        with pytest.raises(IndexCompatError):
+            run_multiprocess_search(
+                tiny_db, tiny_queries, num_workers=2,
+                config=_cfg(use_index=False), index_path=str(tiny_store.path),
+            )
+
+
+_DB_ARGS = ["-n", "150", "--seed", "9"]
+_SEARCH_ARGS = ["-m", "8", "--tau", "5", "--query-seed", "3"]
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "idx"
+        rc = main(["index", "build", str(path), *_DB_ARGS, "--shards", "2"])
+        assert rc == 0
+        return path
+
+    def test_build_then_inspect(self, built, capsys):
+        rc = main(["index", "inspect", str(built)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        store = open_index(built)
+        assert store.fingerprint in out
+        assert "shard_00001" in out
+
+    def test_search_from_store_matches_rebuild(self, built, capsys):
+        rc = main([
+            "search", "-a", "multiproc", "-p", "2", "--index-path", str(built),
+            *_DB_ARGS, *_SEARCH_ARGS,
+        ])
+        assert rc == 0
+        from_store = capsys.readouterr().out
+        rc = main(["search", "-a", "multiproc", "-p", "2", *_DB_ARGS, *_SEARCH_ARGS])
+        assert rc == 0
+        rebuilt = capsys.readouterr().out
+        # identical top-hit lines (wall-clock header line differs)
+        assert [l for l in from_store.splitlines() if l.startswith("  query")] == [
+            l for l in rebuilt.splitlines() if l.startswith("  query")
+        ]
+
+    def test_serial_search_from_store(self, tmp_path, capsys):
+        path = tmp_path / "idx1"
+        assert main(["index", "build", str(path), *_DB_ARGS]) == 0
+        capsys.readouterr()
+        rc = main([
+            "search", "-a", "serial", "-p", "1", "--index-path", str(path),
+            *_DB_ARGS, *_SEARCH_ARGS,
+        ])
+        assert rc == 0
+        assert "serial p=1" in capsys.readouterr().out
+
+    def _expect_error(self, argv, capsys):
+        rc = main(argv)
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+        return err
+
+    def test_missing_store_is_clean_error(self, tmp_path, capsys):
+        err = self._expect_error(
+            ["search", "-a", "serial", "-p", "1", "--index-path",
+             str(tmp_path / "nope"), *_DB_ARGS, *_SEARCH_ARGS],
+            capsys,
+        )
+        assert "no index store" in err
+
+    def test_no_index_contradiction_is_clean_error(self, built, capsys):
+        err = self._expect_error(
+            ["search", "-a", "multiproc", "--no-index", "--index-path", str(built),
+             *_DB_ARGS, *_SEARCH_ARGS],
+            capsys,
+        )
+        assert "use_index" in err or "index" in err
+
+    def test_simulated_engine_is_clean_error(self, built, capsys):
+        err = self._expect_error(
+            ["search", "-a", "algorithm_a", "--index-path", str(built),
+             *_DB_ARGS, *_SEARCH_ARGS],
+            capsys,
+        )
+        assert "simulated engine" in err
+
+    def test_stale_fingerprint_is_clean_error(self, built, capsys):
+        err = self._expect_error(
+            ["search", "-a", "multiproc", "-p", "2", "--index-path", str(built),
+             "-n", "151", "--seed", "9", *_SEARCH_ARGS],
+            capsys,
+        )
+        assert "different database" in err
+
+    def test_corrupt_header_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "idx"
+        assert main(["index", "build", str(path), *_DB_ARGS]) == 0
+        header = json.loads((path / HEADER_NAME).read_text())
+        header["schema"] = "repro.index_store/999"
+        (path / HEADER_NAME).write_text(json.dumps(header))
+        capsys.readouterr()
+        err = self._expect_error(
+            ["search", "-a", "serial", "-p", "1", "--index-path", str(path),
+             *_DB_ARGS, *_SEARCH_ARGS],
+            capsys,
+        )
+        assert "unsupported index store schema" in err
+
+    def test_build_refuses_overwrite_without_flag(self, built, capsys):
+        err = self._expect_error(
+            ["index", "build", str(built), *_DB_ARGS], capsys
+        )
+        assert "already exists" in err
+        assert main(["index", "build", str(built), *_DB_ARGS, "--shards", "2",
+                     "--overwrite"]) == 0

@@ -1,0 +1,225 @@
+"""Unit tests for ``repro.store``: the persistent fragment-index format.
+
+Round-trip (save → open → load, heap and mmap), the fingerprint
+contract, schema-version rejection, truncated/missing/swapped-buffer
+detection, read-only enforcement, and overwrite semantics.  A store
+must either serve arrays bitwise identical to a fresh build or refuse
+with a typed :class:`~repro.errors.IndexStoreError` — never silently
+serve wrong postings.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexStoreError, ReproError
+from repro.index import FragmentIndex, IndexBuilder, IndexLayout
+from repro.index.layout import ARRAY_NAMES, SHARD_ARRAYS, ArraySpec
+from repro.store import (
+    HEADER_NAME,
+    STORE_SCHEMA,
+    build_config_from_search,
+    compute_fingerprint,
+    open_index,
+    rebuilt_provenance,
+    save_index,
+)
+
+
+@pytest.fixture()
+def store_path(tiny_db, tmp_path):
+    return save_index(tiny_db, tmp_path / "idx", num_shards=2).path
+
+
+class TestRoundTrip:
+    def test_save_open_preserves_header(self, tiny_db, store_path):
+        store = open_index(store_path)
+        assert store.schema == STORE_SCHEMA
+        assert store.num_shards == 2
+        assert store.build["max_length"] == 48
+        assert store.nbytes > store.index_nbytes > 0
+        store.validate_against(tiny_db)  # no raise
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_loaded_arrays_bitwise_equal_fresh_build(self, store_path, mmap):
+        store = open_index(store_path)
+        for i in range(store.num_shards):
+            loaded = store.load_shard(i, mmap=mmap)
+            rebuilt = IndexBuilder().build(loaded.shard)
+            for name in ARRAY_NAMES:
+                got = np.asarray(loaded.index.arrays[name])
+                want = np.asarray(rebuilt.arrays[name])
+                assert got.dtype == want.dtype, name
+                assert got.tobytes() == want.tobytes(), name
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_loaded_arrays_are_read_only(self, store_path, mmap):
+        loaded = open_index(store_path).load_shard(0, mmap=mmap)
+        for name in ARRAY_NAMES:
+            arr = np.asarray(loaded.index.arrays[name])
+            assert not arr.flags.writeable, name
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.index.arrays["ladder_mz"][...] = 0.0
+
+    def test_loaded_shard_reconstructs_database(self, tiny_db, store_path):
+        store = open_index(store_path)
+        pieces = [store.load_shard(i).shard for i in range(store.num_shards)]
+        assert sum(len(p) for p in pieces) == len(tiny_db)
+        ids = np.concatenate([p.ids for p in pieces])
+        assert np.array_equal(np.sort(ids), np.sort(tiny_db.ids))
+
+    def test_load_accounting(self, store_path):
+        store = open_index(store_path)
+        loaded = store.load_shard(0)
+        assert loaded.seconds > 0.0
+        assert loaded.nbytes == store.layouts[0].nbytes
+        assert loaded.index.build_time == 0.0  # a loaded view never paid a build
+
+    def test_describe_matches_manifest(self, store_path):
+        store = open_index(store_path)
+        info = store.describe()
+        assert info["schema"] == STORE_SCHEMA
+        assert info["num_shards"] == 2
+        assert info["total_bytes"] == store.nbytes
+        assert [s["num_rows"] for s in info["shards"]] == [
+            layout.num_rows for layout in store.layouts
+        ]
+
+
+class TestFingerprint:
+    def test_mismatched_database_rejected(self, small_db, store_path):
+        store = open_index(store_path)
+        with pytest.raises(IndexStoreError, match="different database"):
+            store.validate_against(small_db)
+
+    def test_fingerprint_depends_on_build_config(self, tiny_db):
+        base = build_config_from_search(
+            num_shards=1, fragment_tolerance=0.5, index_max_length=48
+        )
+        other = build_config_from_search(
+            num_shards=1, fragment_tolerance=0.5, index_max_length=32
+        )
+        assert compute_fingerprint(tiny_db, base) != compute_fingerprint(tiny_db, other)
+
+    def test_rebuilt_provenance_matches_store(self, tiny_db, store_path):
+        store = open_index(store_path)
+        rebuilt = rebuilt_provenance(tiny_db, store.build)
+        assert rebuilt["source"] == "rebuilt"
+        assert rebuilt["fingerprint"] == store.fingerprint
+        assert store.provenance("loaded")["source"] == "loaded"
+
+
+class TestRejection:
+    def _edit_header(self, path, mutate):
+        header_path = path / HEADER_NAME
+        header = json.loads(header_path.read_text())
+        mutate(header)
+        header_path.write_text(json.dumps(header))
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(IndexStoreError, match="no index store"):
+            open_index(tmp_path / "nothing")
+
+    def test_unreadable_header(self, store_path):
+        (store_path / HEADER_NAME).write_text("{not json")
+        with pytest.raises(IndexStoreError, match="unreadable"):
+            open_index(store_path)
+
+    def test_unknown_store_schema_version(self, store_path):
+        self._edit_header(store_path, lambda h: h.update(schema="repro.index_store/999"))
+        with pytest.raises(IndexStoreError, match="unsupported index store schema"):
+            open_index(store_path)
+
+    def test_unrecognized_store_schema(self, store_path):
+        self._edit_header(store_path, lambda h: h.update(schema="something/else"))
+        with pytest.raises(IndexStoreError, match="unrecognized index store schema"):
+            open_index(store_path)
+
+    def test_unknown_layout_schema_version(self, store_path):
+        self._edit_header(
+            store_path,
+            lambda h: h["shards"][0]["layout"].update(
+                schema="repro.fragment_index/999"
+            ),
+        )
+        with pytest.raises(IndexStoreError, match="unsupported index layout schema"):
+            open_index(store_path)
+
+    def test_missing_layout_array(self, store_path):
+        self._edit_header(
+            store_path,
+            lambda h: h["shards"][0]["layout"]["arrays"].pop("ladder_mz"),
+        )
+        with pytest.raises(IndexStoreError, match="missing arrays"):
+            open_index(store_path)
+
+    def test_truncated_buffer(self, store_path):
+        buf = store_path / "shard_00000" / "ladder_mz.npy"
+        data = buf.read_bytes()
+        buf.write_bytes(data[: max(len(data) // 2, 64)])
+        with pytest.raises(IndexStoreError, match="unreadable or truncated"):
+            open_index(store_path).load_shard(0)
+
+    def test_missing_buffer(self, store_path):
+        (store_path / "shard_00001" / "series_key.npy").unlink()
+        with pytest.raises(IndexStoreError, match="missing buffer"):
+            open_index(store_path).load_shard(1)
+
+    def test_manifest_shape_mismatch(self, store_path):
+        def grow(header):
+            spec = header["shards"][0]["layout"]["arrays"]["row_length"]
+            spec["shape"] = [spec["shape"][0] + 1]
+
+        self._edit_header(store_path, grow)
+        with pytest.raises(IndexStoreError, match="does not match its manifest"):
+            open_index(store_path).load_shard(0)
+
+    def test_shard_out_of_range(self, store_path):
+        with pytest.raises(IndexStoreError, match="does not exist"):
+            open_index(store_path).load_shard(5)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(IndexStoreError, ReproError)
+        assert issubclass(IndexStoreError, ValueError)
+
+
+class TestOverwrite:
+    def test_refuses_existing_path(self, tiny_db, store_path):
+        with pytest.raises(IndexStoreError, match="already exists"):
+            save_index(tiny_db, store_path)
+
+    def test_overwrite_replaces(self, tiny_db, store_path):
+        store = save_index(tiny_db, store_path, num_shards=1, overwrite=True)
+        assert store.num_shards == 1
+        assert open_index(store_path).num_shards == 1
+
+
+class TestLayout:
+    def test_layout_round_trips_through_json(self, tiny_db):
+        built = IndexBuilder().build(tiny_db)
+        back = IndexLayout.from_dict(json.loads(json.dumps(built.layout.to_dict())))
+        assert back == built.layout
+        assert back.check_arrays(built.arrays) == []
+        assert back.shard_nbytes == sum(
+            built.arrays[n].nbytes for n in SHARD_ARRAYS
+        )
+
+    def test_check_arrays_reports_mismatches(self, tiny_db):
+        built = IndexBuilder().build(tiny_db)
+        arrays = dict(built.arrays)
+        arrays["row_length"] = arrays["row_length"].astype(np.int32)
+        problems = built.layout.check_arrays(arrays)
+        assert any("row_length" in p and "dtype" in p for p in problems)
+
+    def test_malformed_array_spec_rejected(self):
+        with pytest.raises(IndexStoreError, match="malformed array spec"):
+            ArraySpec.from_dict({"dtype": 7, "shape": [1]}, "x")
+
+    def test_view_from_arrays_scores_like_builder_view(self, tiny_db):
+        built = IndexBuilder().build(tiny_db)
+        direct = built.view()
+        rewired = FragmentIndex.from_arrays(built.layout, built.arrays)
+        assert rewired.num_rows == direct.num_rows
+        assert np.array_equal(rewired.row_length, direct.row_length)
+        assert rewired.shard == direct.shard
