@@ -109,6 +109,57 @@ class IndexStoreError(ReproError, ValueError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for long-lived search-service failures.
+
+    Everything the service refuses or abandons is reported through a
+    subclass of this type, never a bare RuntimeError or a hang: clients
+    of :class:`repro.service.SearchService` can always distinguish
+    *rejected* (admission control said no), *expired* (the request's
+    deadline passed) and *failed* (execution was abandoned after
+    retries) outcomes programmatically.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request because the queue is full.
+
+    Raised immediately under the ``shed`` backpressure policy, or after
+    ``admission_timeout`` seconds under the ``block`` policy.  This is
+    the typed alternative to melting: an overloaded service answers
+    "try again later" in bounded time instead of queueing without bound
+    or hanging the client.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot admit requests right now.
+
+    Raised when submitting before :meth:`~repro.service.SearchService.start`,
+    during drain (shutdown completes in-flight work but admits nothing
+    new), after :meth:`~repro.service.SearchService.stop`, or once every
+    worker has died with no restart budget left.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before execution finished.
+
+    Completed queries keep their (bitwise-deterministic) hits — the
+    response is *partial*, not discarded; this error names the queries
+    that were cut off.
+    """
+
+
+class ServiceBatchError(ServiceError):
+    """A service batch was abandoned after exhausting its retry budget.
+
+    The requests coalesced into the batch complete with status
+    ``failed`` and this error's message; the service itself stays up
+    (degraded), mirroring the supervised engine's quarantine semantics.
+    """
+
+
 class IndexCompatError(ConfigError):
     """A search was configured with options a persisted index cannot serve.
 

@@ -21,12 +21,21 @@ deterministic* so the runtime changes that survive them can be tested:
 See ``docs/fault_tolerance.md`` for the recovery protocol.
 """
 
-from repro.faults.checkpoint import CheckpointManager, SearchCheckpoint
-from repro.faults.injector import FaultInjector, TaskFault
+from repro.faults.checkpoint import (
+    CheckpointManager,
+    SearchCheckpoint,
+    clean_orphan_tmp_files,
+)
+from repro.faults.injector import FaultInjector, ServiceFaultInjector, TaskFault
 from repro.faults.plan import (
     FaultPlan,
     NicDegradation,
     RankCrash,
+    RequestStorm,
+    ServiceFaults,
+    ServiceSlowWorker,
+    ServiceStoreOutage,
+    ServiceWorkerCrash,
     Straggler,
     TransientFaults,
 )
@@ -35,11 +44,18 @@ from repro.faults.supervisor import RetryPolicy
 __all__ = [
     "CheckpointManager",
     "SearchCheckpoint",
+    "clean_orphan_tmp_files",
     "FaultInjector",
+    "ServiceFaultInjector",
     "TaskFault",
     "FaultPlan",
     "NicDegradation",
     "RankCrash",
+    "RequestStorm",
+    "ServiceFaults",
+    "ServiceSlowWorker",
+    "ServiceStoreOutage",
+    "ServiceWorkerCrash",
     "Straggler",
     "TransientFaults",
     "RetryPolicy",

@@ -18,7 +18,10 @@ that makes the paper's parallel == serial validation hold.
 Writes are atomic (temp file + ``os.replace``), so a run killed mid-save
 leaves the previous checkpoint intact.  A fingerprint of the run's shape
 (shard count, query count, search parameters) guards against resuming
-into a different run.
+into a different run.  A crash *between* the temp write and the rename
+leaves an orphan ``.checkpoint-*`` sibling behind; constructing or
+resuming a manager sweeps such orphans away — they are half-written
+scratch files, never checkpoints, and must not be mistaken for one.
 """
 
 from __future__ import annotations
@@ -35,7 +38,39 @@ from repro.scoring.hits import Hit, TopHitList, hits_from_payload, hits_to_paylo
 
 _FORMAT_VERSION = 1
 
+#: prefix of the atomic-write scratch files (`tempfile.mkstemp` below);
+#: anything carrying it is an interrupted flush, safe to delete
+_TMP_PREFIX = ".checkpoint-"
+
 _PathLike = Union[str, os.PathLike]
+
+
+def clean_orphan_tmp_files(path: _PathLike) -> List[str]:
+    """Remove interrupted-flush scratch siblings of checkpoint ``path``.
+
+    A crash between ``mkstemp`` and ``os.replace`` strands a
+    ``.checkpoint-*`` file next to the checkpoint.  Orphans are inert —
+    resume never reads them — but they accumulate and invite confusion
+    (a human or tool picking one up would see a half-written file whose
+    fingerprint, if it parses at all, trips the different-run guard).
+    Returns the removed names.  Never touches ``path`` itself.
+    """
+    directory = os.path.dirname(os.fspath(path)) or "."
+    own_name = os.path.basename(os.fspath(path))
+    removed: List[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        if not name.startswith(_TMP_PREFIX) or name == own_name:
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed.append(name)
+        except OSError:
+            pass  # raced with another cleaner, or permissions: not ours to fix
+    return removed
 
 
 @dataclass
@@ -113,6 +148,7 @@ class CheckpointManager:
         self.counters: Dict[str, int] = {}
         self._merged: Dict[int, TopHitList] = {}
         self._since_save = 0
+        clean_orphan_tmp_files(path)
 
     # -- resuming ---------------------------------------------------------
 

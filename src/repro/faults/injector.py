@@ -11,11 +11,15 @@ fails its first ``attempts`` tries deterministically succeeds afterwards
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Tuple
 
-from repro.errors import WorkerCrashError
+from repro.errors import IndexStoreError, WorkerCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.faults.plan import ServiceFaults
 
 #: attempts value meaning "fail every attempt" (drives quarantine)
 ALWAYS = -1
@@ -78,3 +82,62 @@ class FaultInjector:
     def poison(cls, *task_ids: int) -> "FaultInjector":
         """Convenience: each listed task crashes on every attempt."""
         return cls(tuple(TaskFault(t, "crash", attempts=ALWAYS) for t in task_ids))
+
+
+@dataclass
+class ServiceFaultInjector:
+    """Deterministic service-phase fault decisions for worker threads.
+
+    Consumes the :class:`~repro.faults.plan.ServiceFaults` section of a
+    fault plan.  Decisions depend only on ``(batch_seq, attempt,
+    worker_id, chunk)`` — batch sequence numbers are assigned in
+    admission order by the service, so the same plan against the same
+    workload fires the same faults.  Unlike :class:`FaultInjector` this
+    is shared across *threads*, not pickled into processes; the only
+    mutable state (per-worker slow-batch budgets) is lock-guarded.
+    """
+
+    spec: "ServiceFaults"
+    _lock: threading.Lock = field(
+        init=False, repr=False, default_factory=threading.Lock
+    )
+    _slow_budget_used: Dict[int, int] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def stall_for(self, worker_id: int) -> float:
+        """Seconds worker ``worker_id`` must stall at this batch start."""
+        delay = 0.0
+        with self._lock:
+            for slow in self.spec.slow_workers:
+                if slow.worker != worker_id:
+                    continue
+                used = self._slow_budget_used.get(worker_id, 0)
+                if slow.batches != ALWAYS and used >= slow.batches:
+                    continue
+                self._slow_budget_used[worker_id] = used + 1
+                delay += slow.delay
+        return delay
+
+    def fire(self, batch_seq: int, attempt: int, worker_id: int, chunk: int) -> None:
+        """Called at each chunk boundary of a batch; raises per plan.
+
+        Store outages fire at chunk 0 (the index is touched before any
+        scoring); worker crashes fire at their configured chunk so part
+        of the batch is already scored when the thread dies.
+        """
+        for outage in self.spec.store_outages:
+            if outage.batch != batch_seq or chunk != 0:
+                continue
+            if outage.attempts == ALWAYS or attempt < outage.attempts:
+                raise IndexStoreError(
+                    f"injected store outage: batch {batch_seq} attempt {attempt}"
+                )
+        for crash in self.spec.worker_crashes:
+            if crash.batch != batch_seq or chunk != crash.chunk:
+                continue
+            if crash.attempts == ALWAYS or attempt < crash.attempts:
+                raise WorkerCrashError(
+                    f"injected worker crash: worker {worker_id} batch "
+                    f"{batch_seq} attempt {attempt} chunk {chunk}"
+                )

@@ -18,6 +18,24 @@ proteomics runs actually see:
 * :class:`TransientFaults` — each point-to-point transfer independently
   fails ``k`` times before succeeding, ``k`` drawn from a seeded RNG;
   every failure costs a retransmit penalty plus the wasted wire time.
+
+Service phase (consumed by :class:`repro.service.SearchService` via
+:class:`repro.faults.injector.ServiceFaultInjector`, not by the
+simulated machine) — the failure classes a *long-lived* search service
+sees, grouped under :class:`ServiceFaults` on ``FaultPlan.service``:
+
+* :class:`ServiceWorkerCrash` — a worker thread dies mid-batch while
+  executing global batch number ``batch`` (OOM kill, segfault in a
+  native kernel).
+* :class:`ServiceSlowWorker` — worker ``worker`` stalls ``delay``
+  seconds per batch (thermal throttling, page-cache misses on a cold
+  index).
+* :class:`ServiceStoreOutage` — the persisted index store goes missing
+  mid-serve for the first ``attempts`` tries of batch ``batch`` (NFS
+  blip, volume detach).
+* :class:`RequestStorm` — not a fault *in* the service but the load
+  that provokes the others: a deterministic many-client burst the storm
+  driver (:mod:`repro.service.storm`) replays against the service.
 """
 
 from __future__ import annotations
@@ -76,6 +94,140 @@ class TransientFaults:
     seed: int = 0
 
 
+#: attempts/batches value meaning "every attempt / every batch"
+EVERY = -1
+
+
+@dataclass(frozen=True)
+class ServiceWorkerCrash:
+    """Kill the worker executing global batch ``batch`` mid-execution.
+
+    Fires on the batch's first ``attempts`` tries (``EVERY`` = every
+    try, modelling a poison batch that exhausts the retry budget), when
+    execution reaches chunk index ``chunk`` — so the crash lands *after*
+    part of the batch was scored, exercising the re-queue path.
+    """
+
+    batch: int
+    attempts: int = 1
+    chunk: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceSlowWorker:
+    """Worker ``worker`` stalls ``delay`` wall seconds at each batch start.
+
+    ``batches`` bounds how many batches are afflicted (``EVERY`` = all);
+    the straggler analogue for thread workers.
+    """
+
+    worker: int
+    delay: float
+    batches: int = EVERY
+
+
+@dataclass(frozen=True)
+class ServiceStoreOutage:
+    """The index store is unreachable during batch ``batch``.
+
+    Raises a typed :class:`~repro.errors.IndexStoreError` inside batch
+    execution for the first ``attempts`` tries (``EVERY`` = always); the
+    service treats it as a retryable batch failure, not a worker death.
+    """
+
+    batch: int
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RequestStorm:
+    """A deterministic many-client request burst.
+
+    ``clients`` concurrent clients each submit ``requests_per_client``
+    requests of ``queries_per_request`` spectra, pausing ``interval``
+    seconds between submissions; queries are drawn deterministically
+    from ``seed``.  Consumed by the storm driver
+    (:func:`repro.service.storm.run_storm`), which is what the soak CI
+    job and ``repro serve`` replay.
+    """
+
+    clients: int = 8
+    requests_per_client: int = 4
+    queries_per_request: int = 4
+    interval: float = 0.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceFaults:
+    """Everything that will go wrong during one service run."""
+
+    worker_crashes: Tuple[ServiceWorkerCrash, ...] = ()
+    slow_workers: Tuple[ServiceSlowWorker, ...] = ()
+    store_outages: Tuple[ServiceStoreOutage, ...] = ()
+    storm: Optional[RequestStorm] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "worker_crashes", tuple(self.worker_crashes))
+        object.__setattr__(self, "slow_workers", tuple(self.slow_workers))
+        object.__setattr__(self, "store_outages", tuple(self.store_outages))
+        for c in self.worker_crashes:
+            if c.batch < 0:
+                raise FaultPlanError(f"crash batch must be >= 0, got {c.batch}")
+            if c.attempts < EVERY:
+                raise FaultPlanError(f"crash attempts must be >= -1, got {c.attempts}")
+            if c.chunk < 0:
+                raise FaultPlanError(f"crash chunk must be >= 0, got {c.chunk}")
+        for s in self.slow_workers:
+            if s.worker < 0:
+                raise FaultPlanError(f"slow worker id must be >= 0, got {s.worker}")
+            if s.delay < 0:
+                raise FaultPlanError(f"slow worker delay must be >= 0, got {s.delay}")
+            if s.batches < EVERY:
+                raise FaultPlanError(f"slow worker batches must be >= -1, got {s.batches}")
+        for o in self.store_outages:
+            if o.batch < 0:
+                raise FaultPlanError(f"outage batch must be >= 0, got {o.batch}")
+            if o.attempts < EVERY:
+                raise FaultPlanError(f"outage attempts must be >= -1, got {o.attempts}")
+        storm = self.storm
+        if storm is not None:
+            if storm.clients < 1:
+                raise FaultPlanError(f"storm clients must be >= 1, got {storm.clients}")
+            if storm.requests_per_client < 1:
+                raise FaultPlanError(
+                    f"storm requests_per_client must be >= 1, got {storm.requests_per_client}"
+                )
+            if storm.queries_per_request < 1:
+                raise FaultPlanError(
+                    f"storm queries_per_request must be >= 1, got {storm.queries_per_request}"
+                )
+            if storm.interval < 0:
+                raise FaultPlanError(f"storm interval must be >= 0, got {storm.interval}")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no execution-phase fault is planned (a storm alone
+        is load, not a fault)."""
+        return not (self.worker_crashes or self.slow_workers or self.store_outages)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServiceFaults":
+        storm = payload.get("storm")
+        return cls(
+            worker_crashes=tuple(
+                ServiceWorkerCrash(**c) for c in payload.get("worker_crashes", ())
+            ),
+            slow_workers=tuple(
+                ServiceSlowWorker(**s) for s in payload.get("slow_workers", ())
+            ),
+            store_outages=tuple(
+                ServiceStoreOutage(**o) for o in payload.get("store_outages", ())
+            ),
+            storm=RequestStorm(**storm) if storm else None,
+        )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong during one simulated run."""
@@ -86,6 +238,7 @@ class FaultPlan:
     transient: Optional[TransientFaults] = None
     seed: int = 0
     description: str = ""
+    service: Optional[ServiceFaults] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -244,6 +397,7 @@ class FaultPlan:
             raise FaultPlanError("fault plan JSON must be an object")
         try:
             transient = payload.get("transient")
+            service = payload.get("service")
             return cls(
                 crashes=tuple(RankCrash(**c) for c in payload.get("crashes", ())),
                 stragglers=tuple(Straggler(**s) for s in payload.get("stragglers", ())),
@@ -253,6 +407,7 @@ class FaultPlan:
                 transient=TransientFaults(**transient) if transient else None,
                 seed=int(payload.get("seed", 0)),
                 description=str(payload.get("description", "")),
+                service=ServiceFaults.from_payload(service) if service else None,
             )
         except TypeError as exc:
             raise FaultPlanError(f"fault plan has unknown or missing fields: {exc}") from exc

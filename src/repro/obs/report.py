@@ -71,6 +71,8 @@ def engine_of(report: "SearchReport") -> str:
         return "mpi4py"
     if report.algorithm == "serial":
         return "serial"
+    if report.algorithm == "service":
+        return "service"
     return "simmpi"
 
 
@@ -128,6 +130,10 @@ class RunReport:
     faults: Dict[str, Any] = field(default_factory=lambda: dict(_FAULT_DEFAULTS))
     extras: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: long-lived-service section (admission/health/counters); None for
+    #: batch runs, so the schema version needs no bump — readers treat a
+    #: missing key as "not a service run"
+    service: Optional[Dict[str, Any]] = None
     schema: str = SCHEMA
 
     @property
@@ -143,8 +149,12 @@ class RunReport:
         cls,
         report: "SearchReport",
         metrics: Optional[Dict[str, Any]] = None,
+        service: Optional[Dict[str, Any]] = None,
     ) -> "RunReport":
-        """Merge a SearchReport (+ optional metrics snapshot) into one record."""
+        """Merge a SearchReport (+ optional metrics snapshot) into one record.
+
+        ``service`` attaches a :meth:`SearchService.service_report`
+        payload for runs served by the long-lived service."""
         extras = canonicalize_extras(report.extras)
         peak = report.max_peak_memory
         return cls(
@@ -163,12 +173,13 @@ class RunReport:
             faults=_fault_payload(extras),
             extras=extras,
             metrics=dict(metrics) if metrics else {},
+            service=dict(service) if service else None,
         )
 
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema": self.schema,
             "algorithm": self.algorithm,
             "engine": self.engine,
@@ -182,6 +193,9 @@ class RunReport:
             "extras": dict(self.extras),
             "metrics": dict(self.metrics),
         }
+        if self.service is not None:
+            payload["service"] = dict(self.service)
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -208,6 +222,7 @@ class RunReport:
             faults=dict(payload["faults"]),
             extras=dict(payload["extras"]),
             metrics=dict(payload["metrics"]),
+            service=dict(payload["service"]) if payload.get("service") else None,
             schema=payload["schema"],
         )
 
@@ -242,4 +257,7 @@ class RunReport:
         for key in ("results", "faults", "extras", "metrics"):
             if not isinstance(payload[key], dict):
                 problems.append(f"{key} must be an object")
+        if "service" in payload and payload["service"] is not None:
+            if not isinstance(payload["service"], dict):
+                problems.append("service must be null or an object")
         return problems

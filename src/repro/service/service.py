@@ -1,0 +1,687 @@
+"""The long-lived search service: admission, coalescing, supervision.
+
+:class:`SearchService` turns the batch search kernel into a resident
+server.  Worker threads own their own :class:`ShardSearcher` instances
+(scorers carry mutable caches, so they are never shared) over either a
+persisted index store (each worker memory-maps the shards — the OS
+shares clean pages) or an in-process database (one fragment index is
+built at startup and shared read-only).  Clients submit requests of
+spectra; queued requests are coalesced into mass-sorted batches so the
+candidate-major sweep kernel forms cohorts *across* requests — the
+cross-request analogue of PR 4's within-batch coalescing.
+
+Correctness contract: batch composition is timing-dependent, execution
+is not.  The sweep kernel is bitwise identical to the per-query path
+for any grouping of queries, every completed query scored against every
+shard, and :class:`~repro.scoring.hits.TopHitList` is order-independent
+— so the hits of every *completed* query are bitwise identical to a
+fault-free serial run of the same queries, no matter how requests were
+batched, retried after crashes, or raced by other clients.  Faults,
+deadlines, and load can only change *which* queries complete, never
+what a completed query returns.
+
+Failure semantics (all typed, never a hang):
+
+* queue full → :class:`~repro.errors.ServiceOverloadedError` (``shed``
+  immediately, ``block`` after ``admission_timeout``);
+* not running / draining / all workers dead →
+  :class:`~repro.errors.ServiceUnavailableError`;
+* deadline passed → response status ``partial``/``expired``, completed
+  queries keep their hits;
+* batch abandoned after the retry budget → response status ``failed``;
+* worker death → supervisor restarts the thread while
+  ``max_worker_restarts`` lasts, then degrades to reduced concurrency
+  (``degraded`` in :meth:`SearchService.health`); the last worker dying
+  with no budget fails all outstanding requests typed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import SearchConfig
+from repro.core.search import ShardSearcher
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    WorkerCrashError,
+)
+from repro.faults.injector import ServiceFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import get_metrics
+from repro.scoring.hits import TopHitList
+from repro.service.config import ServiceConfig
+from repro.service.request import RequestHandle, SearchResponse
+from repro.spectra.spectrum import Spectrum
+from repro.store.index_store import StoredIndex, open_index
+
+#: buckets for the batch-size histogram (queries per executed batch)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: worker poll granularity; every wait in the service is bounded by this
+#: (or the next retry's ready time), so no state change can be missed
+#: for longer than one tick and nothing ever blocks indefinitely
+_TICK = 0.05
+
+
+@dataclass
+class _Entry:
+    """One query inside a batch: service-wide uid plus its origin."""
+
+    uid: int
+    orig_qid: int
+    spectrum: Spectrum
+    request: RequestHandle
+
+
+@dataclass
+class _Batch:
+    """One unit of worker execution: coalesced requests, retry state."""
+
+    seq: int
+    requests: List[RequestHandle]
+    entries: List[_Entry]
+    failures: int = 0
+
+
+@dataclass
+class _Worker:
+    wid: int
+    thread: Optional[threading.Thread] = None
+    searchers: List[ShardSearcher] = field(default_factory=list)
+    alive: bool = False
+
+
+class SearchService:
+    """A resident, supervised, coalescing search server.
+
+    Construct with exactly one source of shards — ``store`` (a
+    :class:`~repro.store.index_store.StoredIndex` or a path to one) or
+    ``database`` — then :meth:`start`, :meth:`submit`/:meth:`search`
+    from any number of threads, and :meth:`stop` to drain.
+    """
+
+    def __init__(
+        self,
+        config: SearchConfig,
+        service_config: Optional[ServiceConfig] = None,
+        *,
+        database: Optional[ProteinDatabase] = None,
+        store: Union[StoredIndex, str, None] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        if (database is None) == (store is None):
+            raise ConfigError(
+                "SearchService needs exactly one of database= or store="
+            )
+        self.config = config
+        self.service_config = service_config or ServiceConfig()
+        self._database = database
+        self._store: Optional[StoredIndex] = None
+        if store is not None:
+            self._store = store if isinstance(store, StoredIndex) else open_index(store)
+        self._injector: Optional[ServiceFaultInjector] = None
+        if fault_plan is not None and fault_plan.service is not None:
+            self._injector = ServiceFaultInjector(fault_plan.service)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)  # workers wait for work
+        self._space = threading.Condition(self._lock)  # blocked submitters
+        self._idle = threading.Condition(self._lock)  # drain waits for quiet
+        self._state = "new"  # new -> running -> draining -> stopped
+        self._pending: List[RequestHandle] = []
+        self._retries: List[Tuple[float, int, _Batch]] = []
+        self._in_flight = 0
+        self._workers: List[_Worker] = []
+        self._restarts_used = 0
+        self._next_request_id = itertools.count(1)
+        self._next_uid = itertools.count(0)
+        self._next_batch_seq = itertools.count(0)
+        self._next_worker_id = itertools.count(0)
+        self._template_index = None
+        self._start_error: Optional[BaseException] = None
+        self._counters: Dict[str, float] = {
+            "admitted": 0,
+            "rejected_overload": 0,
+            "rejected_unavailable": 0,
+            "completed": 0,
+            "partial": 0,
+            "expired": 0,
+            "failed": 0,
+            "batches": 0,
+            "batch_retries": 0,
+            "batches_failed": 0,
+            "worker_restarts": 0,
+            "max_queue_depth": 0,
+            "coalesced_requests": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> "SearchService":
+        """Spawn and initialize the worker pool; raises on init failure."""
+        with self._lock:
+            if self._state != "new":
+                raise ServiceUnavailableError(
+                    f"service cannot start from state {self._state!r}"
+                )
+            self._state = "running"
+        if self._database is not None and self._template_index is None:
+            # One shared read-only fragment index for every worker; the
+            # per-worker searchers own their (mutable-cache) scorers.
+            self._template_index = ShardSearcher(self._database, self.config).index
+        for _ in range(self.service_config.workers):
+            self._spawn_worker()
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if self._start_error is not None:
+                    err = self._start_error
+                    self._state = "stopped"
+                    self._work.notify_all()
+                    raise err
+                if sum(1 for w in self._workers if w.alive) >= self.service_config.workers:
+                    break
+                if time.monotonic() >= deadline:
+                    self._state = "stopped"
+                    self._work.notify_all()
+                    raise ServiceUnavailableError(
+                        f"workers failed to initialize within {timeout} s"
+                    )
+                self._idle.wait(_TICK)
+        return self
+
+    def __enter__(self) -> "SearchService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` (default) in-flight and queued work
+        completes first, bounded by ``drain_timeout``.  Idempotent.
+        Every request still outstanding afterwards gets a typed
+        ``failed`` response — an admitted request always terminates."""
+        cfg = self.service_config
+        with self._lock:
+            if self._state == "stopped":
+                return
+            self._state = "draining" if drain else "stopped"
+            self._work.notify_all()
+            self._space.notify_all()
+            if drain:
+                deadline = time.monotonic() + cfg.drain_timeout
+                while self._pending or self._retries or self._in_flight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not any(w.alive for w in self._workers):
+                        break
+                    self._idle.wait(min(_TICK, remaining))
+            self._fail_all_locked("service stopped before the request completed")
+            self._state = "stopped"
+            self._work.notify_all()
+            self._space.notify_all()
+            threads = [w.thread for w in self._workers if w.thread is not None]
+        for t in threads:
+            t.join(timeout=cfg.drain_timeout + 5.0)
+
+    # -- admission --------------------------------------------------------
+
+    def submit(
+        self,
+        queries: Sequence[Spectrum],
+        deadline: Optional[float] = None,
+        client: str = "",
+    ) -> RequestHandle:
+        """Admit one request; returns immediately with a handle.
+
+        ``deadline`` is seconds from now (``None`` uses the config's
+        ``default_deadline``; 0 means none).  Raises
+        :class:`ServiceOverloadedError` under backpressure and
+        :class:`ServiceUnavailableError` when not accepting work.
+        """
+        queries = tuple(queries)
+        if not queries:
+            raise ConfigError("a search request needs at least one query")
+        qids = [q.query_id for q in queries]
+        if len(set(qids)) != len(qids):
+            raise ConfigError(
+                f"request has duplicate query_ids: {sorted(qids)}"
+            )
+        cfg = self.service_config
+        obs = get_metrics()
+        with self._lock:
+            self._check_admissible_locked()
+            if len(self._pending) >= cfg.queue_limit:
+                if cfg.backpressure == "shed":
+                    self._count_locked("rejected_overload")
+                    raise ServiceOverloadedError(
+                        f"admission queue is full ({cfg.queue_limit} queued); "
+                        f"backpressure policy 'shed' rejects immediately"
+                    )
+                wait_until = time.monotonic() + cfg.admission_timeout
+                while len(self._pending) >= cfg.queue_limit:
+                    remaining = wait_until - time.monotonic()
+                    if remaining <= 0:
+                        self._count_locked("rejected_overload")
+                        raise ServiceOverloadedError(
+                            f"admission queue stayed full for "
+                            f"{cfg.admission_timeout} s (policy 'block')"
+                        )
+                    self._space.wait(min(_TICK, remaining))
+                    self._check_admissible_locked()
+            now = time.monotonic()
+            limit = cfg.default_deadline if deadline is None else deadline
+            handle = RequestHandle(
+                request_id=next(self._next_request_id),
+                queries=queries,
+                client=client,
+                deadline_ts=(now + limit) if limit else None,
+                submitted_ts=now,
+            )
+            self._pending.append(handle)
+            self._count_locked("admitted")
+            depth = len(self._pending)
+            if depth > self._counters["max_queue_depth"]:
+                self._counters["max_queue_depth"] = depth
+            obs.gauge("service.queue_depth", depth)
+            self._work.notify()
+        return handle
+
+    def search(
+        self,
+        queries: Sequence[Spectrum],
+        deadline: Optional[float] = None,
+        client: str = "",
+        timeout: Optional[float] = None,
+    ) -> SearchResponse:
+        """Synchronous convenience: :meth:`submit` then wait for the result."""
+        return self.submit(queries, deadline=deadline, client=client).result(timeout)
+
+    def _check_admissible_locked(self) -> None:
+        if self._state != "running":
+            self._count_locked("rejected_unavailable")
+            raise ServiceUnavailableError(
+                f"service is not accepting requests (state {self._state!r})"
+            )
+        if self._workers and not any(w.alive for w in self._workers):
+            self._count_locked("rejected_unavailable")
+            raise ServiceUnavailableError(
+                "service has no live workers (restart budget exhausted)"
+            )
+
+    # -- introspection ----------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/readiness probe payload.
+
+        ``ready`` means requests submitted now would be admitted;
+        ``degraded`` means the service is running below its configured
+        concurrency or has quarantined batches.
+        """
+        with self._lock:
+            alive = sum(1 for w in self._workers if w.alive)
+            degraded = (
+                self._state in ("running", "draining")
+                and (
+                    alive < self.service_config.workers
+                    or self._counters["batches_failed"] > 0
+                )
+            )
+            return {
+                "state": self._state,
+                "ready": self._state == "running" and alive > 0,
+                "degraded": degraded,
+                "workers_alive": alive,
+                "workers_configured": self.service_config.workers,
+                "worker_restarts": int(self._counters["worker_restarts"]),
+                "queue_depth": len(self._pending),
+                "in_flight": self._in_flight,
+                "retry_backlog": len(self._retries),
+                "batches_failed": int(self._counters["batches_failed"]),
+            }
+
+    def stats(self) -> Dict[str, float]:
+        """Monotonic service counters (see docs/service.md)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def service_report(self) -> Dict[str, object]:
+        """The ``service`` section for a RunReport."""
+        health = self.health()
+        return {
+            "config": {
+                "workers": self.service_config.workers,
+                "queue_limit": self.service_config.queue_limit,
+                "backpressure": self.service_config.backpressure,
+                "coalesce": self.service_config.coalesce,
+                "default_deadline": self.service_config.default_deadline,
+                "max_worker_restarts": self.service_config.max_worker_restarts,
+            },
+            "health": health,
+            "counters": self.stats(),
+        }
+
+    # -- counters ---------------------------------------------------------
+
+    def _count_locked(self, name: str, value: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+        get_metrics().count(f"service.{name}", value)
+
+    # -- supervision ------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        worker = _Worker(wid=next(self._next_worker_id))
+        worker.thread = threading.Thread(
+            target=self._worker_main,
+            args=(worker,),
+            name=f"repro-service-worker-{worker.wid}",
+            daemon=True,
+        )
+        with self._lock:
+            self._workers.append(worker)
+        worker.thread.start()
+
+    def _make_searchers(self) -> List[ShardSearcher]:
+        if self._store is not None:
+            loaded = [
+                self._store.load_shard(i) for i in range(self._store.num_shards)
+            ]
+            return [
+                ShardSearcher(ls.shard, self.config, index=ls.index)
+                for ls in loaded
+            ]
+        assert self._database is not None
+        return [
+            ShardSearcher(self._database, self.config, index=self._template_index)
+        ]
+
+    def _worker_main(self, worker: _Worker) -> None:
+        try:
+            worker.searchers = self._make_searchers()
+        except BaseException as exc:
+            self._on_worker_death(worker, exc, initialized=False)
+            return
+        obs = get_metrics()
+        with self._lock:
+            worker.alive = True
+            obs.gauge(
+                "service.workers_alive",
+                sum(1 for w in self._workers if w.alive),
+            )
+            self._idle.notify_all()
+        while True:
+            batch = self._next_work()
+            if batch is None:
+                break
+            try:
+                self._execute_batch(batch, worker)
+            except WorkerCrashError as exc:
+                self._on_batch_failure(batch, exc)
+                self._on_worker_death(worker, exc, initialized=True)
+                return
+            except ReproError as exc:
+                self._on_batch_failure(batch, exc)
+            except BaseException as exc:  # unexpected: quarantine, stay up
+                with self._lock:
+                    self._quarantine_batch_locked(batch, exc)
+        with self._lock:
+            worker.alive = False
+
+    def _next_work(self) -> Optional[_Batch]:
+        """Next batch for a worker: due retries first, then fresh requests.
+
+        Returns ``None`` when the service stopped.  All waits are bounded
+        by ``_TICK`` (or the next retry's ready time), so a worker always
+        observes state changes promptly and can never sleep forever.
+        """
+        with self._lock:
+            while True:
+                if self._state == "stopped":
+                    return None
+                now = time.monotonic()
+                if self._retries and self._retries[0][0] <= now:
+                    _ready, _seq, batch = heapq.heappop(self._retries)
+                    return batch
+                if self._pending:
+                    batch = self._form_batch_locked()
+                    if batch is not None:
+                        return batch
+                timeout = _TICK
+                if self._retries:
+                    timeout = min(timeout, max(self._retries[0][0] - now, 0.0))
+                self._work.wait(timeout)
+
+    def _form_batch_locked(self) -> Optional[_Batch]:
+        cfg = self.service_config
+        obs = get_metrics()
+        now = time.monotonic()
+        taken: List[RequestHandle] = []
+        num_queries = 0
+        max_requests = cfg.max_batch_requests if cfg.coalesce else 1
+        while self._pending and len(taken) < max_requests:
+            req = self._pending[0]
+            if req.deadline_ts is not None and now >= req.deadline_ts:
+                # expired while queued: answer without scoring anything
+                self._pending.pop(0)
+                req.started_ts = now
+                req.expired = True
+                self._set_response_locked(req)
+                continue
+            if taken and num_queries + len(req.queries) > cfg.max_batch_queries:
+                break
+            self._pending.pop(0)
+            taken.append(req)
+            num_queries += len(req.queries)
+        obs.gauge("service.queue_depth", len(self._pending))
+        self._space.notify_all()
+        if not taken:
+            return None
+        entries: List[_Entry] = []
+        for req in taken:
+            req.started_ts = now
+            req._inflight = True
+            self._in_flight += 1
+            for spectrum in req.queries:
+                uid = next(self._next_uid)
+                entries.append(
+                    _Entry(
+                        uid=uid,
+                        orig_qid=spectrum.query_id,
+                        spectrum=replace(spectrum, query_id=uid),
+                        request=req,
+                    )
+                )
+        obs.gauge("service.in_flight", self._in_flight)
+        self._count_locked("batches")
+        if len(taken) > 1:
+            self._count_locked("coalesced_requests", len(taken))
+        obs.observe("service.batch_queries", len(entries), buckets=_BATCH_BUCKETS)
+        return _Batch(seq=next(self._next_batch_seq), requests=taken, entries=entries)
+
+    # -- execution --------------------------------------------------------
+
+    def _execute_batch(self, batch: _Batch, worker: _Worker) -> None:
+        """Run one batch to completion (or raise a typed fault).
+
+        Execution is chunked so deadlines are honoured at chunk
+        boundaries; every query in a finished chunk was scored against
+        *every* shard, so its hits are final.  A raised fault discards
+        this attempt's partial hitlists entirely — the retry rescoring
+        from scratch is what keeps completed results bitwise identical
+        to a fault-free run.
+        """
+        if self._injector is not None:
+            stall = self._injector.stall_for(worker.wid)
+            if stall:
+                time.sleep(stall)
+        cfg = self.service_config
+        now = time.monotonic()
+        for req in batch.requests:
+            if req.deadline_ts is not None and now >= req.deadline_ts:
+                req.expired = True
+        # mass-sort across requests so the sweep kernel coalesces
+        # cross-request cohorts; chunk boundaries then cut contiguous
+        # mass ranges, preserving cohort quality inside each chunk
+        entries = sorted(
+            (e for e in batch.entries if not e.request.expired),
+            key=lambda e: (e.spectrum.parent_mass, e.uid),
+        )
+        hitlists: Dict[int, TopHitList] = {}
+        scored: List[_Entry] = []
+        for ci, pos in enumerate(range(0, len(entries), cfg.chunk_queries)):
+            if self._injector is not None:
+                self._injector.fire(batch.seq, batch.failures, worker.wid, ci)
+            chunk = [
+                e for e in entries[pos : pos + cfg.chunk_queries]
+                if not e.request.expired
+            ]
+            if chunk:
+                spectra = [e.spectrum for e in chunk]
+                for searcher in worker.searchers:
+                    searcher.run(spectra, hitlists)
+                scored.extend(chunk)
+            now = time.monotonic()
+            for req in batch.requests:
+                if (
+                    not req.expired
+                    and req.deadline_ts is not None
+                    and now >= req.deadline_ts
+                ):
+                    req.expired = True
+        with self._lock:
+            for e in scored:
+                hl = hitlists.get(e.uid)
+                hits = (
+                    [h._replace(query_id=e.orig_qid) for h in hl.sorted_hits()]
+                    if hl is not None
+                    else []
+                )
+                e.request.hits[e.orig_qid] = hits
+                e.request.completed.append(e.orig_qid)
+            for req in batch.requests:
+                self._set_response_locked(req)
+
+    def _set_response_locked(self, req: RequestHandle) -> None:
+        """Assign the terminal response exactly once; idempotent."""
+        if req.response is not None:
+            return
+        now = time.monotonic()
+        all_qids = tuple(q.query_id for q in req.queries)
+        completed = tuple(req.completed)
+        done = set(completed)
+        missing = tuple(q for q in all_qids if q not in done)
+        if not missing:
+            status, error = "ok", ""
+        elif req.failure:
+            status, error = "failed", req.failure
+        elif req.expired:
+            status = "partial" if completed else "expired"
+            error = (
+                f"deadline exceeded; queries {list(missing)} were not scored"
+            )
+        else:  # defensive: no declared cause, refuse to fabricate hits
+            status, error = "failed", "request terminated without completing"
+        latency = now - req.submitted_ts
+        queue_wait = (req.started_ts if req.started_ts is not None else now) - (
+            req.submitted_ts
+        )
+        req.response = SearchResponse(
+            request_id=req.request_id,
+            status=status,
+            hits=dict(req.hits),
+            completed_query_ids=completed,
+            missing_query_ids=missing,
+            error=error,
+            latency_s=latency,
+            queue_wait_s=queue_wait,
+        )
+        if req._inflight:
+            req._inflight = False
+            self._in_flight -= 1
+        self._count_locked(status if status != "ok" else "completed")
+        obs = get_metrics()
+        obs.gauge("service.in_flight", self._in_flight)
+        obs.observe("service.request_latency_s", latency)
+        obs.observe("service.queue_wait_s", queue_wait)
+        req._event.set()
+        self._idle.notify_all()
+        self._space.notify_all()
+
+    # -- failure handling -------------------------------------------------
+
+    def _on_batch_failure(self, batch: _Batch, exc: BaseException) -> None:
+        """Retry with backoff or quarantine, per the PR 2 retry policy."""
+        with self._lock:
+            batch.failures += 1
+            policy = self.service_config.retry
+            if policy.allows_retry(batch.failures) and self._state != "stopped":
+                ready = time.monotonic() + policy.delay(batch.failures)
+                heapq.heappush(self._retries, (ready, batch.seq, batch))
+                self._count_locked("batch_retries")
+                self._work.notify()
+            else:
+                self._quarantine_batch_locked(batch, exc)
+
+    def _quarantine_batch_locked(self, batch: _Batch, exc: BaseException) -> None:
+        self._count_locked("batches_failed")
+        message = (
+            f"batch {batch.seq} abandoned after {batch.failures} failed "
+            f"attempts: {exc}"
+        )
+        for req in batch.requests:
+            if req.response is None:
+                req.failure = message
+                self._set_response_locked(req)
+
+    def _on_worker_death(
+        self, worker: _Worker, exc: BaseException, initialized: bool
+    ) -> None:
+        obs = get_metrics()
+        with self._lock:
+            worker.alive = False
+            if not initialized and self._start_error is None and self._restarts_used == 0:
+                # initial pool failed to come up: surface to start()
+                self._start_error = exc
+                self._idle.notify_all()
+                return
+            restart = (
+                self._state in ("running", "draining")
+                and self._restarts_used < self.service_config.max_worker_restarts
+            )
+            if restart:
+                self._restarts_used += 1
+                self._count_locked("worker_restarts")
+            alive = sum(1 for w in self._workers if w.alive)
+            obs.gauge("service.workers_alive", alive)
+            if not restart and alive == 0:
+                # nobody left to run anything: fail all outstanding work
+                # typed instead of letting clients (or drain) wait
+                self._fail_all_locked(
+                    f"all workers dead and restart budget exhausted: {exc}"
+                )
+            self._idle.notify_all()
+        if restart:
+            self._spawn_worker()
+
+    def _fail_all_locked(self, message: str) -> None:
+        for req in self._pending:
+            req.failure = message
+            self._set_response_locked(req)
+        self._pending.clear()
+        while self._retries:
+            _r, _s, batch = heapq.heappop(self._retries)
+            for req in batch.requests:
+                if req.response is None:
+                    req.failure = message
+                    self._set_response_locked(req)
+        get_metrics().gauge("service.queue_depth", 0)
+        self._space.notify_all()
+        self._idle.notify_all()

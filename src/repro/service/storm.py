@@ -1,0 +1,153 @@
+"""Deterministic multi-client request-storm driver.
+
+Replays a :class:`~repro.faults.plan.RequestStorm` spec against a
+running :class:`~repro.service.SearchService`: ``clients`` real threads
+each submit ``requests_per_client`` requests of ``queries_per_request``
+spectra drawn (seeded, without replacement per request) from a shared
+query pool.  Thread interleaving is real and therefore nondeterministic
+— what *is* deterministic is the workload: which queries each
+(client, request) pair carries depends only on the spec's seed, so a
+verifier can recompute the fault-free reference answer for every
+outcome after the fact and assert bitwise identity for everything that
+completed.
+
+This is the engine behind the ``service-soak`` CI job and the
+``repro serve`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.faults.plan import RequestStorm
+from repro.service.request import SearchResponse
+from repro.service.service import SearchService
+from repro.spectra.spectrum import Spectrum
+
+
+def storm_queries(
+    storm: RequestStorm, pool: Sequence[Spectrum], client: int, seq: int
+) -> List[Spectrum]:
+    """The queries (client, seq) submits — a pure function of the spec.
+
+    Samples ``queries_per_request`` pool spectra without replacement
+    from an RNG seeded by ``(seed, client, seq)``, so tests and
+    verifiers can reconstruct any outcome's workload offline.
+    """
+    if not pool:
+        raise ServiceError("storm query pool is empty")
+    k = min(storm.queries_per_request, len(pool))
+    rng = random.Random(storm.seed * 1_000_003 + client * 8_191 + seq)
+    return rng.sample(list(pool), k)
+
+
+@dataclass
+class StormOutcome:
+    """What happened to one (client, seq) submission."""
+
+    client: int
+    seq: int
+    query_ids: Tuple[int, ...]
+    response: Optional[SearchResponse] = None
+    rejected: str = ""  # typed rejection class name, "" if admitted
+
+    @property
+    def status(self) -> str:
+        if self.rejected:
+            return f"rejected:{self.rejected}"
+        assert self.response is not None
+        return self.response.status
+
+
+@dataclass
+class StormResult:
+    """Aggregate of one storm run; every submission has an outcome."""
+
+    outcomes: List[StormOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    @property
+    def admitted(self) -> List[StormOutcome]:
+        return [o for o in self.outcomes if not o.rejected]
+
+    @property
+    def completed_queries(self) -> int:
+        return sum(
+            len(o.response.completed_query_ids)
+            for o in self.admitted
+            if o.response is not None
+        )
+
+
+def run_storm(
+    service: SearchService,
+    storm: RequestStorm,
+    pool: Sequence[Spectrum],
+    deadline: Optional[float] = None,
+    result_timeout: float = 120.0,
+) -> StormResult:
+    """Drive ``storm`` against ``service``; returns every outcome.
+
+    Typed admission rejections (:class:`~repro.errors.ServiceError`
+    subclasses) are recorded, not raised — a storm is expected to trip
+    backpressure.  Any *other* exception propagates: the service
+    hanging or leaking an untyped error is exactly what the soak test
+    exists to catch.
+    """
+    pool = list(pool)
+    result = StormResult()
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def client_main(client: int) -> None:
+        for seq in range(storm.requests_per_client):
+            queries = storm_queries(storm, pool, client, seq)
+            outcome = StormOutcome(
+                client=client,
+                seq=seq,
+                query_ids=tuple(q.query_id for q in queries),
+            )
+            try:
+                handle = service.submit(queries, deadline=deadline, client=f"c{client}")
+            except ServiceError as exc:
+                outcome.rejected = type(exc).__name__
+            else:
+                outcome.response = handle.result(timeout=result_timeout)
+            with lock:
+                result.outcomes.append(outcome)
+            if storm.interval:
+                time.sleep(storm.interval)
+
+    def client_guard(client: int) -> None:
+        try:
+            client_main(client)
+        except BaseException as exc:  # surfaced to the caller below
+            with lock:
+                errors.append(exc)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_guard, args=(c,), name=f"storm-client-{c}")
+        for c in range(storm.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    result.wall_s = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    result.outcomes.sort(key=lambda o: (o.client, o.seq))
+    return result

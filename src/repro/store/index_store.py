@@ -30,9 +30,14 @@ never silently served, because the build-once/load-many contract is
 that a loaded index scores bitwise identically to an in-process
 rebuild.
 
-Writes are atomic-ish: the directory is assembled under a temporary
-sibling name and renamed into place, so readers never observe a
-half-written store.
+Writes are atomic-ish *and durable*: the directory is assembled under a
+temporary sibling name — every buffer and the header fsync'd, then the
+directories themselves — before being renamed into place and the parent
+directory fsync'd.  Readers never observe a half-written store, and a
+power cut after ``save_index`` returns cannot leave torn buffers behind
+the final name.  Should torn or truncated buffers appear anyway (a
+copy interrupted mid-flight, bit rot), loading raises a typed
+:class:`~repro.errors.IndexStoreError` — never a raw numpy or OS error.
 """
 
 from __future__ import annotations
@@ -64,6 +69,24 @@ HEADER_NAME = "header.json"
 
 def _shard_dirname(i: int) -> str:
     return f"shard_{i:05d}"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory's entries (names, inodes) to stable storage.
+
+    Some platforms/filesystems refuse fsync on directory descriptors;
+    that loses durability, not correctness, so it is tolerated.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def compute_fingerprint(db: ProteinDatabase, build: Dict[str, Any]) -> str:
@@ -187,7 +210,11 @@ class StoredIndex:
                         f"index store at {self.path} is missing buffer "
                         f"{buf_path.name} for shard {i}"
                     ) from None
-                except (ValueError, OSError) as exc:
+                except (ValueError, OSError, EOFError) as exc:
+                    # numpy reports truncation inconsistently: a torn
+                    # .npy header raises ValueError, a payload cut short
+                    # raises EOFError (heap load) or ValueError (mmap);
+                    # all of them mean the same thing here
                     raise IndexStoreError(
                         f"index store buffer {buf_path} is unreadable or "
                         f"truncated: {exc}"
@@ -299,7 +326,12 @@ def save_index(
             shard_dir = tmp / _shard_dirname(i)
             shard_dir.mkdir()
             for name in ARRAY_NAMES:
-                np.save(shard_dir / f"{name}.npy", built.arrays[name])
+                buf_path = shard_dir / f"{name}.npy"
+                with open(buf_path, "wb") as fh:
+                    np.save(fh, built.arrays[name])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            _fsync_dir(shard_dir)
             layouts.append(built.layout)
         header = {
             "schema": STORE_SCHEMA,
@@ -313,9 +345,13 @@ def save_index(
         }
         with open(tmp / HEADER_NAME, "w") as fh:
             json.dump(header, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fsync_dir(tmp)
         if path.exists():  # overwrite: drop the stale store just before rename
             shutil.rmtree(path)
         os.replace(tmp, path)
+        _fsync_dir(path.parent)  # persist the rename itself
     except BaseException:
         shutil.rmtree(tmp, ignore_errors=True)
         raise

@@ -164,3 +164,52 @@ class TestKillResume:
                 tiny_db, tiny_queries[:-1], num_workers=1, config=config,
                 checkpoint_path=str(path), resume=True,
             )
+
+
+class TestOrphanTmpCleanup:
+    """A crash between mkstemp and os.replace strands `.checkpoint-*`
+    siblings; constructing or resuming a manager must sweep them away
+    without touching the real checkpoint or unrelated files."""
+
+    def _orphan(self, tmp_path, name=".checkpoint-dead42"):
+        orphan = tmp_path / name
+        orphan.write_text('{"half": "writ')
+        return orphan
+
+    def test_fresh_manager_sweeps_orphans(self, tmp_path):
+        orphan = self._orphan(tmp_path)
+        bystander = tmp_path / "notes.txt"
+        bystander.write_text("keep me")
+        CheckpointManager(tmp_path / "run.ckpt", dict(FINGERPRINT), tau=3)
+        assert not orphan.exists()
+        assert bystander.exists()
+
+    def test_resume_after_torn_flush_sweeps_and_loads(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path, dict(FINGERPRINT), tau=3)
+        manager.record(0, {7: [make_hit(7, 3.5)]})
+        manager.flush()
+        orphan = self._orphan(tmp_path)  # the torn half of a later flush
+        resumed = CheckpointManager.resume(path, dict(FINGERPRINT), tau=3)
+        assert resumed.completed_tasks == {0}
+        assert [h.sort_key() for h in resumed.merged_hits()[7]] == [
+            make_hit(7, 3.5).sort_key()
+        ]
+        assert not orphan.exists()
+
+    def test_cleaner_never_removes_checkpoint_itself(self, tmp_path):
+        from repro.faults.checkpoint import clean_orphan_tmp_files
+
+        # a checkpoint pathologically named like a scratch file survives
+        path = tmp_path / ".checkpoint-real"
+        path.write_text("{}")
+        orphan = self._orphan(tmp_path, ".checkpoint-stale7")
+        removed = clean_orphan_tmp_files(path)
+        assert path.exists()
+        assert not orphan.exists()
+        assert removed == [".checkpoint-stale7"]
+
+    def test_cleaner_tolerates_missing_directory(self, tmp_path):
+        from repro.faults.checkpoint import clean_orphan_tmp_files
+
+        assert clean_orphan_tmp_files(tmp_path / "nope" / "run.ckpt") == []

@@ -1,0 +1,295 @@
+"""Fault-injected service tests: crashes, stragglers, outages, overload.
+
+The contract under test (docs/service.md): injected faults may cost
+retries, worker restarts, and degraded health — but never wrong
+answers.  Every completed query's hits stay bitwise identical to the
+fault-free serial reference, every admitted request reaches a typed
+terminal response, and overload rejects with a typed error instead of
+hanging.
+"""
+
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.search import search_serial
+from repro.errors import (
+    FaultPlanError,
+    ServiceBatchError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.faults import (
+    FaultPlan,
+    RequestStorm,
+    ServiceFaults,
+    ServiceSlowWorker,
+    ServiceStoreOutage,
+    ServiceWorkerCrash,
+)
+from repro.faults.plan import EVERY
+from repro.faults.supervisor import RetryPolicy
+from repro.service import SearchService, ServiceConfig, run_storm
+
+
+@pytest.fixture()
+def sweep_config():
+    return SearchConfig(tau=10, use_sweep=True)
+
+
+@pytest.fixture()
+def reference_hits(tiny_db, tiny_queries, sweep_config):
+    report = search_serial(tiny_db, tiny_queries, sweep_config)
+    return {qid: [h.sort_key() for h in hs] for qid, hs in report.hits.items()}
+
+
+def fast_retry():
+    return RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+
+def assert_bitwise(result, reference_hits):
+    checked = 0
+    for outcome in result.admitted:
+        for qid, hits in outcome.response.hits.items():
+            assert [h.sort_key() for h in hits] == reference_hits[qid], qid
+            checked += 1
+    assert checked > 0, "no completed queries to verify"
+
+
+class TestPlanVocabulary:
+    def test_service_section_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                worker_crashes=(ServiceWorkerCrash(batch=1, attempts=2, chunk=1),),
+                slow_workers=(ServiceSlowWorker(worker=0, delay=0.05, batches=3),),
+                store_outages=(ServiceStoreOutage(batch=2, attempts=EVERY),),
+                storm=RequestStorm(clients=6, requests_per_client=3, seed=7),
+            )
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        loaded = FaultPlan.from_file(path)
+        assert loaded == plan
+        assert not loaded.service.is_trivial
+
+    def test_plan_without_service_section_round_trips_to_none(self):
+        plan = FaultPlan.from_json(FaultPlan().to_json())
+        assert plan.service is None
+
+    def test_storm_alone_is_trivial(self):
+        faults = ServiceFaults(storm=RequestStorm())
+        assert faults.is_trivial
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"worker_crashes": (ServiceWorkerCrash(batch=-1),)},
+            {"worker_crashes": (ServiceWorkerCrash(batch=0, attempts=-2),)},
+            {"worker_crashes": (ServiceWorkerCrash(batch=0, chunk=-1),)},
+            {"slow_workers": (ServiceSlowWorker(worker=-1, delay=0.1),)},
+            {"slow_workers": (ServiceSlowWorker(worker=0, delay=-0.1),)},
+            {"store_outages": (ServiceStoreOutage(batch=-1),)},
+            {"storm": RequestStorm(clients=0)},
+            {"storm": RequestStorm(interval=-1.0)},
+        ],
+    )
+    def test_bad_service_faults_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            ServiceFaults(**kwargs)
+
+
+class TestCrashRecovery:
+    def test_mid_batch_crash_retries_and_stays_bitwise(
+        self, tiny_db, tiny_queries, sweep_config, reference_hits
+    ):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                worker_crashes=(ServiceWorkerCrash(batch=0, attempts=1, chunk=0),)
+            )
+        )
+        service_config = ServiceConfig(
+            workers=2, retry=fast_retry(), chunk_queries=4
+        )
+        storm = RequestStorm(clients=3, requests_per_client=2, queries_per_request=4, seed=3)
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            result = run_storm(service, storm, tiny_queries)
+            stats = service.stats()
+        assert result.counts == {"ok": 6}
+        assert stats["batch_retries"] >= 1
+        assert stats["worker_restarts"] >= 1
+        assert_bitwise(result, reference_hits)
+
+    def test_crash_after_partial_chunk_discards_partial_scores(
+        self, tiny_db, tiny_queries, sweep_config, reference_hits
+    ):
+        """A crash at chunk 1 threw away chunk 0's work; the retry
+        rescores from scratch, so no query is double-counted or torn."""
+        plan = FaultPlan(
+            service=ServiceFaults(
+                worker_crashes=(ServiceWorkerCrash(batch=0, attempts=1, chunk=1),)
+            )
+        )
+        service_config = ServiceConfig(
+            workers=1, retry=fast_retry(), chunk_queries=2, max_batch_queries=12
+        )
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            response = service.search(tiny_queries[:8]).raise_for_status()
+        assert sorted(response.completed_query_ids) == sorted(
+            q.query_id for q in tiny_queries[:8]
+        )
+        for qid, hits in response.hits.items():
+            assert [h.sort_key() for h in hits] == reference_hits[qid]
+
+    def test_poison_batch_exhausts_retries_and_fails_typed(
+        self, tiny_db, tiny_queries, sweep_config
+    ):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                worker_crashes=(ServiceWorkerCrash(batch=0, attempts=EVERY),)
+            )
+        )
+        service_config = ServiceConfig(
+            workers=2, retry=fast_retry(), max_worker_restarts=8
+        )
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            response = service.search(tiny_queries[:3], timeout=60.0)
+            assert response.status == "failed"
+            assert "crash" in response.error or "retry" in response.error
+            with pytest.raises(ServiceBatchError):
+                response.raise_for_status()
+            health = service.health()
+            assert health["degraded"]
+            assert health["batches_failed"] == 1
+            # the service survives: the next request completes normally
+            assert service.search(tiny_queries[3:5]).ok
+
+    def test_restart_budget_exhaustion_fails_typed_not_hung(
+        self, tiny_db, tiny_queries, sweep_config
+    ):
+        """The last worker dies with no restart budget: the admitted
+        request lands typed 'failed' (never hangs) and later submissions
+        get a typed ServiceUnavailableError."""
+        plan = FaultPlan(
+            service=ServiceFaults(
+                worker_crashes=(ServiceWorkerCrash(batch=0, attempts=EVERY),)
+            )
+        )
+        service_config = ServiceConfig(
+            workers=1, retry=RetryPolicy(max_retries=0), max_worker_restarts=0
+        )
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            response = service.search(tiny_queries[:2], timeout=60.0)
+            assert response.status == "failed"
+            health = service.health()
+            assert health["workers_alive"] == 0
+            assert health["degraded"]
+            with pytest.raises(ServiceUnavailableError, match="no live workers"):
+                service.submit(tiny_queries[2:4])
+
+
+class TestStoreOutage:
+    def test_transient_outage_retries_to_success(
+        self, tiny_db, tiny_queries, sweep_config, reference_hits
+    ):
+        plan = FaultPlan(
+            service=ServiceFaults(store_outages=(ServiceStoreOutage(batch=0, attempts=2),))
+        )
+        service_config = ServiceConfig(workers=2, retry=fast_retry())
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            response = service.search(tiny_queries[:5]).raise_for_status()
+            stats = service.stats()
+        assert stats["batch_retries"] == 2
+        assert stats["worker_restarts"] == 0  # outages are not worker deaths
+        for qid, hits in response.hits.items():
+            assert [h.sort_key() for h in hits] == reference_hits[qid]
+
+    def test_permanent_outage_fails_typed(self, tiny_db, tiny_queries, sweep_config):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                store_outages=(ServiceStoreOutage(batch=0, attempts=EVERY),)
+            )
+        )
+        service_config = ServiceConfig(workers=1, retry=fast_retry())
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            response = service.search(tiny_queries[:2], timeout=60.0)
+        assert response.status == "failed"
+        with pytest.raises(ServiceBatchError, match="store"):
+            response.raise_for_status()
+
+
+class TestOverload:
+    """Backpressure under a stalled worker: typed rejection, never a hang."""
+
+    def _stalled_service(self, tiny_db, sweep_config, policy, **cfg_kwargs):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                slow_workers=(ServiceSlowWorker(worker=0, delay=0.3, batches=EVERY),)
+            )
+        )
+        service_config = ServiceConfig(
+            workers=1, queue_limit=1, backpressure=policy,
+            retry=fast_retry(), **cfg_kwargs,
+        )
+        return SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        )
+
+    def test_shed_rejects_immediately(self, tiny_db, tiny_queries, sweep_config):
+        with self._stalled_service(tiny_db, sweep_config, "shed") as service:
+            handles = [service.submit([tiny_queries[0]])]
+            sheds = 0
+            for q in tiny_queries[1:6]:
+                try:
+                    handles.append(service.submit([q]))
+                except ServiceOverloadedError:
+                    sheds += 1
+            assert sheds >= 1
+            assert service.stats()["rejected_overload"] == sheds
+            for handle in handles:
+                assert handle.result(timeout=60.0).ok
+
+    def test_block_times_out_typed(self, tiny_db, tiny_queries, sweep_config):
+        with self._stalled_service(
+            tiny_db, sweep_config, "block", admission_timeout=0.05
+        ) as service:
+            handles = [service.submit([tiny_queries[0]])]
+            rejections = 0
+            for q in tiny_queries[1:6]:
+                try:
+                    handles.append(service.submit([q]))
+                except ServiceOverloadedError as exc:
+                    rejections += 1
+                    assert "block" in str(exc)
+            assert rejections >= 1
+            for handle in handles:
+                assert handle.result(timeout=60.0).ok
+
+
+class TestStragglerDegradation:
+    def test_straggler_slows_but_never_corrupts(
+        self, tiny_db, tiny_queries, sweep_config, reference_hits
+    ):
+        plan = FaultPlan(
+            service=ServiceFaults(
+                slow_workers=(ServiceSlowWorker(worker=0, delay=0.05, batches=4),)
+            )
+        )
+        storm = RequestStorm(clients=4, requests_per_client=2, queries_per_request=3, seed=5)
+        service_config = ServiceConfig(workers=2, retry=fast_retry())
+        with SearchService(
+            sweep_config, service_config, database=tiny_db, fault_plan=plan
+        ) as service:
+            result = run_storm(service, storm, tiny_queries)
+        assert result.counts == {"ok": 8}
+        assert_bitwise(result, reference_hits)

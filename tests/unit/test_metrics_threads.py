@@ -1,0 +1,107 @@
+"""Concurrency tests for MetricsRegistry.
+
+The long-lived service records counters, histograms, gauges and spans
+from many worker and client threads at once; the registry's contract is
+that concurrent mutation never loses updates and never corrupts the
+histogram invariant (sum of bucket counts == count).  These tests hammer
+one shared registry from N threads and assert exact totals — a data
+race shows up as a lost increment, which on CPython's dict-of-floats
+implementation would be silent without the registry's lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ITERS = 400
+
+
+def _hammer(registry, tid, barrier):
+    barrier.wait()
+    for i in range(ITERS):
+        registry.count("svc.requests")
+        registry.count("svc.bytes", 3)
+        registry.gauge(f"svc.gauge_{tid}", float(i))
+        registry.observe("svc.latency", (i % 50) / 10.0, buckets=(0.5, 1.0, 2.5, 5.0))
+        with registry.span("svc.work", category="service", tid=tid):
+            pass
+
+
+class TestConcurrentRegistry:
+    @pytest.fixture()
+    def registry(self):
+        return MetricsRegistry(enabled=True)
+
+    def test_counts_histograms_spans_from_many_threads(self, registry):
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=_hammer, args=(registry, t, barrier))
+            for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = THREADS * ITERS
+        assert registry.counter_value("svc.requests") == total
+        assert registry.counter_value("svc.bytes") == 3 * total
+
+        snap = registry.snapshot()
+        hist = snap["histograms"]["svc.latency"]
+        assert hist["count"] == total
+        assert sum(hist["counts"]) == total
+        # every thread observed the same value sequence, so the sum is exact
+        per_thread_sum = sum((i % 50) / 10.0 for i in range(ITERS))
+        assert hist["sum"] == pytest.approx(per_thread_sum * THREADS)
+
+        assert len(snap["spans"]) == total
+        # last-write-wins gauges: each thread owns its own name
+        for t in range(THREADS):
+            assert snap["gauges"][f"svc.gauge_{t}"] == float(ITERS - 1)
+
+    def test_concurrent_first_observation_fixes_one_layout(self, registry):
+        """Racing first observers must agree on a single bucket layout."""
+        barrier = threading.Barrier(THREADS)
+
+        def observe_with_own_buckets(tid):
+            barrier.wait()
+            for _ in range(ITERS):
+                registry.observe("svc.race", 1.0, buckets=(0.5, 1.5))
+
+        threads = [
+            threading.Thread(target=observe_with_own_buckets, args=(t,))
+            for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hist = registry.snapshot()["histograms"]["svc.race"]
+        assert hist["buckets"] == [0.5, 1.5]
+        assert hist["count"] == THREADS * ITERS
+        assert sum(hist["counts"]) == THREADS * ITERS
+
+    def test_snapshot_during_mutation_is_consistent(self, registry):
+        """Snapshots taken mid-hammer each satisfy the histogram invariant."""
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                registry.count("svc.requests")
+                registry.observe("svc.latency", 0.7)
+
+        worker = threading.Thread(target=mutate)
+        worker.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                hist = snap["histograms"].get("svc.latency")
+                if hist is not None:
+                    assert sum(hist["counts"]) == hist["count"]
+        finally:
+            stop.set()
+            worker.join()

@@ -223,3 +223,60 @@ class TestLayout:
         assert rewired.num_rows == direct.num_rows
         assert np.array_equal(rewired.row_length, direct.row_length)
         assert rewired.shard == direct.shard
+
+
+class TestTornWrites:
+    """Torn/interrupted writes must surface as typed IndexStoreError.
+
+    A crash mid-save can leave a buffer cut anywhere: inside the .npy
+    magic/header, mid-payload, or at zero bytes.  numpy reports these
+    differently (ValueError vs EOFError, heap vs mmap) — the store must
+    normalize every shape to IndexStoreError, for both load modes.
+    """
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    @pytest.mark.parametrize("keep", [0, 4, 40, -64])
+    def test_truncated_buffer_is_typed_error(self, store_path, mmap, keep):
+        buf = store_path / "shard_00000" / "ladder_mz.npy"
+        data = buf.read_bytes()
+        buf.write_bytes(data[:keep])  # negative keep: cut the tail off
+        with pytest.raises(IndexStoreError, match="unreadable or truncated"):
+            open_index(store_path).load_shard(0, mmap=mmap)
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_garbage_buffer_is_typed_error(self, store_path, mmap):
+        buf = store_path / "shard_00001" / "series_key.npy"
+        buf.write_bytes(b"\x00" * 256)  # right size class, wrong magic
+        with pytest.raises(IndexStoreError, match="unreadable or truncated"):
+            open_index(store_path).load_shard(1, mmap=mmap)
+
+    def test_interrupted_save_leaves_no_store(self, tiny_db, tmp_path, monkeypatch):
+        """A crash before the final rename must not materialize the path."""
+        import os as _os
+
+        target = tmp_path / "never_born"
+        real_replace = _os.replace
+
+        def boom(src, dst):
+            if _os.fspath(dst) == _os.fspath(target):
+                raise OSError("simulated crash at publish")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(_os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_index(tiny_db, target, num_shards=1)
+        monkeypatch.undo()
+        assert not target.exists()
+        # the tmp sibling was cleaned up too: directory holds no debris
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_after_interrupted_save_succeeds(self, tiny_db, tmp_path):
+        """Stale tmp siblings from a hard kill do not block the next save."""
+        target = tmp_path / "idx"
+        stale = tmp_path / f".{target.name}.tmp-{__import__('os').getpid()}"
+        stale.mkdir()
+        (stale / "junk.npy").write_bytes(b"half-written")
+        store = save_index(tiny_db, target, num_shards=1)
+        assert store.num_shards == 1
+        assert not stale.exists()
+        open_index(target).load_shard(0)
