@@ -146,13 +146,39 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
     queries = generate_queries(args.queries, seed=args.query_seed)
     config = _make_config(args)
+    index_path = args.index_path
+    stream_tmp = None
+    if args.stream and not index_path:
+        # --stream without a store: build a throwaway partitioned store
+        # next to nothing (temp dir) and stream the search from it — a
+        # self-contained out-of-core run with no separate build step.
+        import tempfile
+
+        from repro.errors import IndexCompatError
+        from repro.store import save_partitioned_index
+
+        if args.algorithm not in ("serial", "multiproc"):
+            raise IndexCompatError(
+                f"--stream is served by the real engines (serial, multiproc); "
+                f"the simulated engine {args.algorithm!r} models execution"
+            )
+        stream_tmp = tempfile.TemporaryDirectory(prefix="repro-pstore-")
+        index_path = os.path.join(stream_tmp.name, "index")
+        save_partitioned_index(
+            db,
+            index_path,
+            partition_mb=args.partition_mb,
+            fragment_tolerance=config.fragment_tolerance,
+            max_length=config.index_max_length,
+        )
     index_store = None
-    if args.index_path:
+    if index_path:
         # Every misuse below is a *typed* ReproError: main() turns it
         # into a one-line `error: ...` message, never a traceback.
         from repro.core.search import index_compat_problems
         from repro.errors import IndexCompatError
-        from repro.store import open_index
+        from repro.store import open_any_index
+        from repro.store.partitioned import PartitionedIndex
 
         if args.algorithm not in ("serial", "multiproc"):
             raise IndexCompatError(
@@ -160,16 +186,33 @@ def cmd_search(args: argparse.Namespace) -> int:
                 f"multiproc); the simulated engine {args.algorithm!r} models "
                 f"execution and cannot memory-map a persisted index"
             )
-        problems = index_compat_problems(config)
-        if problems:
-            raise IndexCompatError(
-                "this search cannot be served from the persisted index: "
-                + "; ".join(problems)
-            )
+        # opened here so a missing/corrupt path fails before any work;
+        # the engines fingerprint-validate it against the database
+        store = open_any_index(index_path)
+        if isinstance(store, PartitionedIndex):
+            from repro.core.streaming import streaming_compat_problems
+
+            problems = streaming_compat_problems(config)
+            if problems:
+                raise IndexCompatError(
+                    "this search cannot be streamed from the partitioned "
+                    "index: " + "; ".join(problems)
+                )
+        else:
+            if args.stream:
+                raise IndexCompatError(
+                    f"--stream needs a partitioned store "
+                    f"(`repro index build --partition-mb ...`); "
+                    f"{index_path} holds a resident-format store"
+                )
+            problems = index_compat_problems(config)
+            if problems:
+                raise IndexCompatError(
+                    "this search cannot be served from the persisted index: "
+                    + "; ".join(problems)
+                )
         if args.algorithm == "serial":
-            # opened here so a missing/corrupt path fails before any work;
-            # search_serial fingerprint-validates it against the database
-            index_store = open_index(args.index_path)
+            index_store = store
     registry = None
     if args.report_out:
         # collect runtime telemetry for the RunReport; search results are
@@ -202,7 +245,8 @@ def cmd_search(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             fault_injector=injector,
-            index_path=args.index_path,
+            index_path=index_path,
+            memory_budget_mb=args.memory_budget_mb,
         )
         if report.extras.get("degraded"):
             print(
@@ -222,7 +266,13 @@ def cmd_search(args: argparse.Namespace) -> int:
             raise ConfigError(
                 f"serial engine requires num_ranks == 1, got {args.ranks}"
             )
-        report = search_serial(db, queries, config, index_store=index_store)
+        report = search_serial(
+            db,
+            queries,
+            config,
+            index_store=index_store,
+            memory_budget_mb=args.memory_budget_mb,
+        )
     else:
         cluster_config = None
         if args.fault_plan:
@@ -260,6 +310,16 @@ def cmd_search(args: argparse.Namespace) -> int:
         f"{report.virtual_time:.2f}s, {report.candidates_evaluated} candidate "
         f"evaluations ({report.candidates_per_second:.0f}/s)"
     )
+    stream = report.extras.get("stream")
+    if stream:
+        print(
+            f"  streamed {stream['partitions']} partition(s): "
+            f"{format_si(stream['bytes_read'])}B read -> "
+            f"{format_si(stream['bytes_decoded'])}B decoded, "
+            f"{stream['prefetch_hits']} prefetch hit(s) / "
+            f"{stream['prefetch_stalls']} stall(s), "
+            f"exposed I/O {stream['partition_exposed_io']:.3f}s"
+        )
     shown = 0
     for qid in sorted(report.hits):
         top = report.top_hit(qid)
@@ -270,18 +330,48 @@ def cmd_search(args: argparse.Namespace) -> int:
             f"[{top.start},{top.stop}) mass {top.mass:.3f} score {top.score:.3f}"
         )
         shown += 1
+    if stream_tmp is not None:
+        stream_tmp.cleanup()
     return 0
 
 
 def cmd_index_build(args: argparse.Namespace) -> int:
-    """Build a persistent fragment-index store (build once, load many)."""
-    from repro.store import save_index
+    """Build a persistent fragment-index store (build once, load many).
 
+    With ``--partition-mb`` the store is the *partitioned* out-of-core
+    format instead: mass-contiguous compressed partitions streamed at
+    search time (``search --stream`` / ``--index-path``).
+    """
     db = (
         read_fasta(args.database)
         if args.database
         else generate_database(args.database_size, seed=args.seed)
     )
+    if args.partition_mb is not None:
+        from repro.store import save_partitioned_index
+
+        store = save_partitioned_index(
+            db,
+            args.output,
+            partition_mb=args.partition_mb,
+            fragment_tolerance=args.fragment_tolerance,
+            max_length=args.index_max_length,
+            overwrite=args.overwrite,
+        )
+        info = store.describe()
+        print(
+            f"built partitioned index for {len(db)} sequences "
+            f"({format_si(db.total_residues)} residues): "
+            f"{info['num_partitions']} partition(s), "
+            f"{format_si(info['blob_bytes'])}B compressed "
+            f"({format_si(info['decoded_bytes'])}B decoded, "
+            f"{format_si(info['max_partition_bytes'])}B double-buffer unit) "
+            f"at {args.output}"
+        )
+        print(f"fingerprint {store.fingerprint}")
+        return 0
+    from repro.store import save_index
+
     store = save_index(
         db,
         args.output,
@@ -301,10 +391,45 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 
 
 def cmd_index_inspect(args: argparse.Namespace) -> int:
-    """Print a persisted index's header: schema, fingerprint, manifests."""
-    from repro.store import open_index
+    """Print a persisted index's header: schema, fingerprint, manifests.
 
-    info = open_index(args.path).describe()
+    Dispatches on the on-disk schema: resident stores list shards,
+    partitioned stores list per-partition m/z ranges, postings counts
+    and compressed/decoded sizes.
+    """
+    from repro.store import open_any_index
+    from repro.store.partitioned import PartitionedIndex
+
+    store = open_any_index(args.path)
+    info = store.describe()
+    if isinstance(store, PartitionedIndex):
+        build = info["build"]
+        print(f"partitioned index store {info['path']}")
+        print(f"  schema       {info['schema']}")
+        print(f"  fingerprint  {info['fingerprint']}")
+        print(
+            f"  build        fragment_tolerance={build['fragment_tolerance']} "
+            f"max_length={build['max_length']} "
+            f"monoisotopic={build['monoisotopic']} "
+            f"partition_mb={build['partition_mb']}"
+        )
+        print(
+            f"  bytes        compressed={format_si(info['blob_bytes'])}B "
+            f"decoded={format_si(info['decoded_bytes'])}B "
+            f"double_buffer_unit={format_si(info['max_partition_bytes'])}B"
+        )
+        print(
+            f"  rows         {info['num_rows']} in {info['num_partitions']} "
+            f"partition(s) + {info['overflow_spans']} overflow span(s)"
+        )
+        for p in info["partitions"]:
+            print(
+                f"  {p['name']}  m/z [{p['mass_lo']:.3f}, {p['mass_hi']:.3f}] "
+                f"rows={p['num_rows']} postings={p['postings']} "
+                f"compressed={format_si(p['blob_bytes'])}B "
+                f"decoded={format_si(p['decoded_bytes'])}B"
+            )
+        return 0
     build = info["build"]
     print(f"index store {info['path']}")
     print(f"  schema       {info['schema']}")
@@ -559,7 +684,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from repro.faults.plan import FaultPlan, RequestStorm
     from repro.service import SearchService, ServiceConfig, run_storm
-    from repro.store import open_index
+    from repro.store import open_any_index
+    from repro.store.partitioned import PartitionedIndex
 
     config = _make_config(args)
     plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
@@ -586,9 +712,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     db = None
     if args.index_path:
-        store = open_index(args.index_path)
-        shards = store.num_shards
-        service = SearchService(config, service_config, store=store, fault_plan=plan)
+        store = open_any_index(args.index_path)
+        shards = (
+            store.num_partitions
+            if isinstance(store, PartitionedIndex)
+            else store.num_shards
+        )
+        service = SearchService(
+            config,
+            service_config,
+            store=store,
+            fault_plan=plan,
+            memory_budget_mb=args.memory_budget_mb,
+        )
     else:
         db = (
             read_fasta(args.database)
@@ -726,7 +862,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-path", default=None,
         help="serve the search from a persisted index directory built with "
         "`repro index build` (real engines only; fingerprint-validated "
-        "against the database)",
+        "against the database); a partitioned store streams out-of-core",
+    )
+    p_search.add_argument(
+        "--stream", action="store_true",
+        help="stream the search out-of-core from a partitioned store: with "
+        "--index-path the store must be partitioned (built with "
+        "--partition-mb); without it a temporary partitioned store is "
+        "built first and discarded after the run",
+    )
+    p_search.add_argument(
+        "--partition-mb", type=_positive_float, default=32.0,
+        help="decoded partition size (MiB) for the temporary store that "
+        "--stream builds when no --index-path is given",
+    )
+    p_search.add_argument(
+        "--memory-budget-mb", type=_positive_float, default=None,
+        help="bound each streaming reader's resident partition bytes "
+        "(compressed + decoded); the prefetch thread blocks rather than "
+        "exceed it",
     )
     p_search.add_argument(
         "--report-out", default=None,
@@ -760,6 +914,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_ib.add_argument(
         "--index-max-length", type=_positive_int, default=48,
         help="longest candidate span the index covers",
+    )
+    p_ib.add_argument(
+        "--partition-mb", type=_positive_float, default=None,
+        help="build the *partitioned* out-of-core format instead: "
+        "mass-contiguous compressed partitions of ~this decoded size "
+        "(MiB), streamed with prefetch at search time",
     )
     p_ib.add_argument(
         "--overwrite", action="store_true",
@@ -846,7 +1006,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--index-path", default=None,
-        help="serve from a persisted index directory (each worker memory-maps it)",
+        help="serve from a persisted index directory (each worker memory-maps "
+        "it; a partitioned store is streamed out-of-core per worker)",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb", type=_positive_float, default=None,
+        help="partitioned stores: bound each worker's resident partition "
+        "bytes (compressed + decoded)",
     )
     p_serve.add_argument("--workers", type=_positive_int, default=2, help="worker threads")
     p_serve.add_argument(

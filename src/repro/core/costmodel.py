@@ -96,6 +96,19 @@ class CostModel:
             (union-window enumeration, shared block materialization, the
             one batched probe).  Amortized over every member of the
             cohort, which is the sweep's whole point.
+        partition_read_per_byte: seconds per *compressed* byte of
+            reading a streamed partition blob from disk
+            (``repro.store.partitioned``).  Disk transport obeys the
+            same bandwidth/overlap calculus as the paper's MPI_Get, so
+            this is the term the prefetch thread masks with scoring.
+        partition_decode_per_byte: seconds per *decoded* byte of
+            turning a blob back into index arrays (zlib inflate, varint
+            decode, derived-array reconstruction).  Charged on the
+            compute side of the overlap split — decode runs on the
+            consuming thread, interleaved with scoring.
+        partition_open_overhead: per-partition constant of one streamed
+            visit (directory lookup, file open, checksum), charged per
+            partition actually read.
     """
 
     rho_base: float = 24e-6
@@ -115,6 +128,9 @@ class CostModel:
     index_open_overhead: float = 1e-3
     sweep_setup_per_query: float = 4e-5
     sweep_probe_per_cohort: float = 2.5e-4
+    partition_read_per_byte: float = 1e-8
+    partition_decode_per_byte: float = 2e-9
+    partition_open_overhead: float = 5e-4
 
     def rho(self, scorer: Scorer) -> float:
         """Effective per-candidate evaluation cost for a scorer."""
@@ -144,6 +160,44 @@ class CostModel:
         if num_shards < 0:
             raise ValueError(f"num_shards must be >= 0, got {num_shards}")
         return self.index_load_per_byte * nbytes + self.index_open_overhead * num_shards
+
+    def partition_io_time(self, blob_bytes: int, num_partitions: int = 0) -> float:
+        """Virtual cost of reading streamed partition blobs from disk.
+
+        The *maskable* side of the out-of-core overlap: the prefetch
+        thread runs these reads while the consumer decodes and scores,
+        so only the exposed remainder (see :meth:`partition_exposed_io`)
+        reaches virtual time.
+        """
+        if blob_bytes < 0:
+            raise ValueError(f"blob_bytes must be >= 0, got {blob_bytes}")
+        if num_partitions < 0:
+            raise ValueError(
+                f"num_partitions must be >= 0, got {num_partitions}"
+            )
+        return (
+            self.partition_read_per_byte * blob_bytes
+            + self.partition_open_overhead * num_partitions
+        )
+
+    def partition_decode_time(self, decoded_bytes: int) -> float:
+        """Virtual cost of decoding streamed blobs back into arrays."""
+        if decoded_bytes < 0:
+            raise ValueError(
+                f"decoded_bytes must be >= 0, got {decoded_bytes}"
+            )
+        return self.partition_decode_per_byte * decoded_bytes
+
+    def partition_exposed_io(self, io_time: float, compute_time: float) -> float:
+        """I/O seconds *not* masked by concurrent decode + scoring.
+
+        The paper's one-sided-communication overlap argument applied to
+        disk: with double-buffered prefetch, read time hides behind
+        compute and only ``max(io - compute, 0)`` is exposed.  A
+        streamed search's virtual time charges compute plus this
+        remainder, never the sum.
+        """
+        return max(io_time - compute_time, 0.0)
 
     def index_probe_time(self, candidates: int, scorer: Scorer) -> float:
         """Query-processing time for index-served candidate evaluations."""

@@ -644,6 +644,7 @@ def search_serial(
     config: SearchConfig,
     library: Optional[SpectralLibrary] = None,
     index_store=None,
+    memory_budget_mb: Optional[float] = None,
 ) -> "SearchReport":
     """Reference serial search: one processor, whole database.
 
@@ -658,9 +659,21 @@ def search_serial(
     the shard's arrays are memory-mapped read-only, and hits are bitwise
     identical to the rebuild path.  Virtual time then charges
     ``CostModel.index_load_time`` instead of ``index_build_time``.
+
+    A :class:`repro.store.PartitionedIndex` instead *streams* the
+    search: partitions are decoded one (plus one prefetched) at a time
+    (:class:`~repro.core.streaming.StreamingSearcher`), peak memory
+    stays ~two partitions regardless of N, hits remain bitwise
+    identical, and virtual time charges decode plus only the I/O not
+    masked by compute (``CostModel.partition_exposed_io``).
     """
     from repro.core.results import SearchReport  # deferred: results imports Hit types
+    from repro.store.partitioned import PartitionedIndex
 
+    if isinstance(index_store, PartitionedIndex):
+        return _search_serial_streamed(
+            database, queries, config, library, index_store, memory_budget_mb
+        )
     loaded = None
     if index_store is not None:
         from repro.errors import IndexCompatError
@@ -739,5 +752,88 @@ def search_serial(
         candidates_evaluated=stats.candidates_evaluated,
         virtual_time=virtual,
         peak_memory={0: cost.shard_bytes(database) + sum(q.nbytes for q in queries)},
+        extras=canonicalize_extras(extras),
+    )
+
+
+def _search_serial_streamed(
+    database: ProteinDatabase,
+    queries: Sequence[Spectrum],
+    config: SearchConfig,
+    library: Optional[SpectralLibrary],
+    store,
+    memory_budget_mb: Optional[float] = None,
+) -> "SearchReport":
+    """Serial search streamed from a partitioned store.
+
+    The out-of-core leg of :func:`search_serial`: fingerprint-validated,
+    double-buffered partition pass, bitwise-identical hits.  Virtual
+    time replaces the whole-database scan + index load/build terms with
+    partition decode plus the *exposed* (unmasked) fraction of blob
+    I/O, mirroring how the paper charges one-sided communication only
+    where computation fails to hide it.
+    """
+    from repro.core.results import SearchReport
+    from repro.core.streaming import StreamingSearcher, streaming_compat_problems
+    from repro.errors import IndexCompatError
+
+    problems = streaming_compat_problems(config)
+    if problems:
+        raise IndexCompatError(
+            "this search cannot be streamed from the partitioned index: "
+            + "; ".join(problems)
+        )
+    store.validate_against(database)
+    searcher = StreamingSearcher(
+        store,
+        config,
+        library=library,
+        database=database,
+        memory_budget_mb=memory_budget_mb,
+    )
+    hitlists: Dict[int, TopHitList] = {}
+    stats = searcher.run(queries, hitlists)
+    ss = searcher.stream_stats
+    cost = config.cost
+    eval_time = cost.search_evaluation_time(stats, searcher.scorer)
+    decode_time = cost.partition_decode_time(ss.bytes_decoded)
+    io_time = cost.partition_io_time(ss.bytes_read, ss.partitions)
+    exposed_io = cost.partition_exposed_io(io_time, eval_time + decode_time)
+    virtual = (
+        cost.load_time(0, len(queries))  # queries only: the DB stays on disk
+        + decode_time
+        + exposed_io
+        + eval_time
+        + cost.query_processing_overhead(stats, len(queries))
+        + cost.report_time(sum(min(len(h), config.tau) for h in hitlists.values()))
+    )
+    hits = {qid: hl.sorted_hits() for qid, hl in hitlists.items()}
+    extras = {
+        "batches": stats.batches,
+        "rows_scored": stats.rows_scored,
+        "index_rows": stats.index_rows,
+        "index_probe_fraction": stats.index_rows / stats.rows_scored
+        if stats.rows_scored
+        else 0.0,
+        "sweep_queries": stats.sweep_queries,
+        "sweep_cohorts": stats.sweep_cohorts,
+        "modeled_candidates_per_second": cost.candidates_per_second(searcher.scorer),
+        "index_provenance": store.provenance("streamed"),
+        "stream": dict(
+            ss.to_dict(),
+            score_seconds=searcher.score_seconds,
+            partition_io_time=io_time,
+            partition_decode_time=decode_time,
+            partition_exposed_io=exposed_io,
+        ),
+    }
+    return SearchReport(
+        algorithm="serial",
+        num_ranks=1,
+        hits=hits,
+        candidates_evaluated=stats.candidates_evaluated,
+        virtual_time=virtual,
+        # resident footprint is the double buffer + query batch, not N
+        peak_memory={0: searcher.nbytes + sum(q.nbytes for q in queries)},
         extras=canonicalize_extras(extras),
     )

@@ -1,0 +1,467 @@
+"""Streamed out-of-core search over a partitioned index store.
+
+:class:`StreamingSearcher` is the out-of-core counterpart of
+:class:`~repro.core.search.ShardSearcher`: same ``run(queries,
+hitlists) -> ShardStats`` contract (so the serial engine, the multiproc
+workers, and the service workers drive it unchanged), but instead of
+holding a whole shard's fragment index resident it iterates the store's
+mass-contiguous partitions through a
+:class:`~repro.store.partitioned.StreamingIndexReader` — one partition
+decoded and scored while the next is prefetched.
+
+Bitwise identity with the resident path is structural:
+
+* Partitions tile the precursor-major row order; a query's candidate
+  set inside a partition is the same inclusive ``[m - delta, m + delta]``
+  mass window the :class:`~repro.candidates.mass_index.MassIndex`
+  enumeration selects, recovered by two ``searchsorted`` calls on the
+  partition's ``row_mass`` column.  Unioned over partitions plus the
+  overflow blob (spans outside the index envelope, scored through the
+  direct :class:`~repro.candidates.batch.CandidateBatch` path exactly
+  like the resident index's ``row == -1`` spans), every query sees
+  exactly the resident candidate set.
+* Scores come from the very same kernels (``scorer.score_index`` /
+  ``index.score_block`` on the per-query and sweep paths), reading
+  per-row arrays that are byte-for-byte the resident build's rows.
+* :class:`~repro.scoring.hits.TopHitList` is order-independent, so
+  folding partitions in mass order instead of one whole-shard batch
+  cannot change the retained hits; per-query ``evaluated`` totals match
+  because shorts, cutoff failures, and offers are counted per partition
+  and sum to the resident per-query counts.
+
+Streaming serves a strict subset of configurations — REAL execution, an
+index-capable scorer, and no variable modifications (PTM tiers are
+generated from the database, not the index; the resident path routes
+them through the direct batch, but out-of-core their enumeration would
+re-read the whole database per query).  Violations raise a typed
+:class:`~repro.errors.IndexCompatError` up front, never silently
+degraded results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.candidates.batch import CandidateBatch
+from repro.candidates.mass_index import CandidateSpans, coalesce_windows
+from repro.chem.protein import ProteinDatabase
+from repro.core.config import SearchConfig
+from repro.core.search import ShardStats, index_compat_problems
+from repro.errors import IndexCompatError
+from repro.obs.metrics import get_metrics
+from repro.scoring.base import Scorer, batch_scores
+from repro.scoring.hits import TopHitList
+from repro.spectra.library import SpectralLibrary
+from repro.spectra.spectrum import Spectrum
+from repro.spectra.spectrum_batch import SpectrumBatch
+from repro.store.partitioned import (
+    PartitionedIndex,
+    StreamingIndexReader,
+    StreamStats,
+)
+
+
+def streaming_compat_problems(
+    config: SearchConfig, scorer: Optional[Scorer] = None
+) -> List[str]:
+    """Configuration contradictions that make streamed search unusable.
+
+    Everything :func:`~repro.core.search.index_compat_problems` rejects,
+    plus variable modifications: PTM candidate tiers are enumerated from
+    the database residues, which an out-of-core pass does not hold.
+    """
+    problems = index_compat_problems(config, scorer)
+    if config.modifications:
+        problems.append(
+            "variable modifications require database-resident candidate "
+            "generation; streamed search serves unmodified searches only"
+        )
+    return problems
+
+
+class StreamingSearcher:
+    """Searches queries by streaming a partitioned store's m/z shards.
+
+    Drop-in for :class:`~repro.core.search.ShardSearcher` at the engine
+    seam: ``run(queries, hitlists)`` returns merged
+    :class:`~repro.core.search.ShardStats`.  ``partition_range``
+    restricts the pass to a contiguous ``[lo, hi)`` slice of partition
+    ids — how multiproc workers split one store into disjoint streams —
+    and ``own_overflow`` says whether this searcher also scores the
+    out-of-envelope span blob (exactly one owner per store, or hits
+    would duplicate).
+    """
+
+    def __init__(
+        self,
+        store: PartitionedIndex,
+        config: SearchConfig,
+        scorer: Optional[Scorer] = None,
+        library: Optional[SpectralLibrary] = None,
+        *,
+        database: Optional[ProteinDatabase] = None,
+        partition_range: Optional[Tuple[int, int]] = None,
+        own_overflow: Optional[bool] = None,
+        memory_budget_mb: Optional[float] = None,
+        prefetch: bool = True,
+    ):
+        self.store = store
+        self.config = config
+        self.scorer = scorer if scorer is not None else config.make_scorer(library)
+        problems = streaming_compat_problems(config, self.scorer)
+        if problems:
+            raise IndexCompatError(
+                "this search cannot be streamed from the partitioned index: "
+                + "; ".join(problems)
+            )
+        self.database = database if database is not None else store.load_database()
+        if partition_range is None:
+            partition_range = (0, store.num_partitions)
+        lo, hi = int(partition_range[0]), int(partition_range[1])
+        if not (0 <= lo <= hi <= store.num_partitions):
+            raise IndexCompatError(
+                f"partition_range {partition_range} is outside the store's "
+                f"{store.num_partitions} partitions"
+            )
+        self.partition_range = (lo, hi)
+        # overflow has exactly one owner: by default the range holding
+        # partition 0 (or, for an empty store, the full-range searcher)
+        self.own_overflow = (
+            own_overflow
+            if own_overflow is not None
+            else lo == 0
+        )
+        self.memory_budget_mb = memory_budget_mb
+        self.prefetch = prefetch
+        self.stream_stats = StreamStats()
+        self.score_seconds = 0.0
+        self._overflow: Optional[CandidateSpans] = None
+        self.index_build_time = 0.0  # interface parity with ShardSearcher
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes this searcher needs: directory + double buffer.
+
+        The out-of-core claim in one number — independent of total store
+        size, it is two partitions plus the mmapped database buffers.
+        """
+        return int(2 * self.store.max_partition_bytes + self.database.nbytes)
+
+    def _get_overflow(self) -> CandidateSpans:
+        if self._overflow is None:
+            self._overflow = self.store.load_overflow()
+        return self._overflow
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(
+        self, queries: Iterable[Spectrum], hitlists: Dict[int, TopHitList]
+    ) -> ShardStats:
+        """One streamed pass: every partition visited at most once.
+
+        Telemetry mirrors :meth:`ShardSearcher.run` (same counter names
+        plus the ``stream.*`` family the reader emits), and is never an
+        input to scoring.
+        """
+        obs = get_metrics()
+        if not obs.enabled:
+            return self._search(list(queries), hitlists)
+        with obs.span(
+            "search.stream",
+            category="search",
+            partitions=self.partition_range[1] - self.partition_range[0],
+            sweep=self.config.use_sweep,
+        ):
+            stats = self._search(list(queries), hitlists)
+        obs.count("search.queries", stats.queries_processed)
+        obs.count("search.candidates", stats.candidates_evaluated)
+        obs.count("search.batches", stats.batches)
+        obs.count("search.rows_scored", stats.rows_scored)
+        obs.count("search.index_rows", stats.index_rows)
+        if stats.sweep_queries:
+            obs.count("sweep.queries", stats.sweep_queries)
+            obs.count("sweep.cohorts", stats.sweep_cohorts)
+        return stats
+
+    def _search(
+        self, queries: List[Spectrum], hitlists: Dict[int, TopHitList]
+    ) -> ShardStats:
+        stats = ShardStats()
+        cfg = self.config
+        for spectrum in queries:
+            if spectrum.query_id not in hitlists:
+                hitlists[spectrum.query_id] = TopHitList(cfg.tau)
+        stats.queries_processed += len(queries)
+        if not queries:
+            return stats
+        if cfg.use_sweep:
+            stats.sweep_queries += len(queries)
+        # mass-sorted query order: each partition is visited once, by a
+        # contiguous slice of queries whose windows intersect its range
+        masses = np.array([q.parent_mass for q in queries], dtype=np.float64)
+        order = np.argsort(masses, kind="stable")
+        lows = masses[order] - cfg.delta
+        highs = masses[order] + cfg.delta
+
+        lo, hi = self.partition_range
+        entries = self.store.partitions
+        visit = [
+            pid
+            for pid in range(lo, hi)
+            if entries[pid].num_rows
+            and highs[-1] >= entries[pid].mass_lo
+            and lows[0] <= entries[pid].mass_hi
+        ]
+        reader = StreamingIndexReader(
+            self.store,
+            visit,
+            memory_budget_mb=self.memory_budget_mb,
+            prefetch=self.prefetch,
+        )
+        try:
+            for part in reader:
+                entry = part.entry
+                # windows sorted (shared delta): members form one slice
+                a = int(np.searchsorted(highs, entry.mass_lo, side="left"))
+                b = int(np.searchsorted(lows, entry.mass_hi, side="right"))
+                if b <= a:
+                    continue
+                t0 = time.perf_counter()
+                self._score_partition(
+                    part.index,
+                    queries,
+                    order[a:b],
+                    lows[a:b],
+                    highs[a:b],
+                    hitlists,
+                    stats,
+                )
+                self.score_seconds += time.perf_counter() - t0
+        finally:
+            reader.close()
+            self.stream_stats.merge(reader.stats)
+        if self.own_overflow:
+            t0 = time.perf_counter()
+            self._score_overflow(queries, order, lows, highs, hitlists, stats)
+            self.score_seconds += time.perf_counter() - t0
+        return stats
+
+    def _score_partition(
+        self,
+        index,
+        queries: List[Spectrum],
+        members: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        hitlists: Dict[int, TopHitList],
+        stats: ShardStats,
+    ) -> None:
+        """Score one decoded partition for its member queries."""
+        cfg = self.config
+        row_mass = index.arrays["row_mass"]
+        # inclusive [m - delta, m + delta], matching MassIndex windows
+        r_lo = np.searchsorted(row_mass, lows, side="left")
+        r_hi = np.searchsorted(row_mass, highs, side="right")
+        if cfg.use_sweep:
+            self._score_members_sweep(
+                index, queries, members, lows, highs, r_lo, r_hi, hitlists, stats
+            )
+            return
+        for j, qi in enumerate(members):
+            rows = np.arange(int(r_lo[j]), int(r_hi[j]), dtype=np.int64)
+            self._offer_rows(index, queries[int(qi)], rows, hitlists, stats)
+
+    def _offer_rows(
+        self,
+        index,
+        spectrum: Spectrum,
+        rows: np.ndarray,
+        hitlists: Dict[int, TopHitList],
+        stats: ShardStats,
+        scores: Optional[np.ndarray] = None,
+    ) -> None:
+        """Per-query accounting + hit offer for one partition's rows.
+
+        With ``scores`` given (sweep path) the rows are pre-filtered
+        long-enough rows; otherwise rows are raw window rows and shorts
+        are counted here, exactly like :meth:`ShardSearcher.search`.
+        """
+        cfg = self.config
+        hitlist = hitlists[spectrum.query_id]
+        if scores is None:
+            n_total = len(rows)
+            stats.candidates_evaluated += n_total
+            if n_total == 0:
+                return
+            long_enough = index.row_length[rows] >= cfg.min_candidate_length
+            n_short = n_total - int(long_enough.sum())
+            if n_short:
+                hitlist.evaluated += n_short
+                rows = rows[long_enough]
+                if len(rows) == 0:
+                    return
+            scores = self.scorer.score_index(spectrum, index, rows)
+            stats.batches += 1
+            stats.rows_scored += len(rows)
+            stats.index_rows += len(rows)
+        if cfg.score_cutoff is not None:
+            passing = scores >= cfg.score_cutoff
+            n_fail = len(scores) - int(passing.sum())
+            if n_fail:
+                hitlist.evaluated += n_fail
+                rows = rows[passing]
+                scores = scores[passing]
+        arrays = index.arrays
+        hitlist.add_batch(
+            spectrum.query_id,
+            scores,
+            arrays["row_protein"][rows],
+            arrays["row_start"][rows],
+            arrays["row_stop"][rows],
+            arrays["row_mass"][rows],
+            np.zeros(len(rows), dtype=np.float64),
+        )
+
+    def _score_members_sweep(
+        self,
+        index,
+        queries: List[Spectrum],
+        members: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        r_lo: np.ndarray,
+        r_hi: np.ndarray,
+        hitlists: Dict[int, TopHitList],
+        stats: ShardStats,
+    ) -> None:
+        """Cohort-coalesced scoring of one partition's member queries.
+
+        Same cohort grammar as :meth:`ShardSearcher.search_sweep`
+        (mass-sorted members, ``coalesce_windows``), with each cohort
+        scored through ``index.score_block`` — one flat posting probe
+        per cohort.  Per-member filters and accounting are identical to
+        the per-query path, and hit emission goes through the same
+        order-independent ``add_batch``.
+        """
+        cfg = self.config
+        min_len = cfg.min_candidate_length
+        for a, b in coalesce_windows(lows, highs, cfg.sweep_cohort):
+            stats.sweep_cohorts += 1
+            cohort = members[a:b]
+            row_sets: List[np.ndarray] = []
+            kept_specs: List[Spectrum] = []
+            kept_rows: List[np.ndarray] = []
+            for j in range(a, b):
+                qi = int(members[j])
+                spectrum = queries[qi]
+                rows = np.arange(int(r_lo[j]), int(r_hi[j]), dtype=np.int64)
+                n_total = len(rows)
+                stats.candidates_evaluated += n_total
+                if n_total == 0:
+                    continue
+                long_enough = index.row_length[rows] >= min_len
+                n_short = n_total - int(long_enough.sum())
+                if n_short:
+                    hitlists[spectrum.query_id].evaluated += n_short
+                    rows = rows[long_enough]
+                if len(rows) == 0:
+                    continue
+                kept_specs.append(spectrum)
+                kept_rows.append(rows)
+            if not kept_specs:
+                continue
+            spectra = SpectrumBatch(kept_specs)
+            results = index.score_block(self.scorer, spectra, kept_rows)
+            stats.batches += 1
+            for spectrum, rows, scores in zip(kept_specs, kept_rows, results):
+                stats.rows_scored += len(rows)
+                stats.index_rows += len(rows)
+                self._offer_rows(
+                    index, spectrum, rows, hitlists, stats, scores=scores
+                )
+
+    def _score_overflow(
+        self,
+        queries: List[Spectrum],
+        order: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        hitlists: Dict[int, TopHitList],
+        stats: ShardStats,
+    ) -> None:
+        """Direct-path scoring of the out-of-envelope spans.
+
+        Exactly the resident searcher's overflow stream: spans the index
+        cannot hold are materialized as a
+        :class:`~repro.candidates.batch.CandidateBatch` against the
+        mmapped database and scored with ``batch_scores`` — bitwise the
+        scores ``score_spans`` produces for its ``row == -1`` spans.
+        """
+        spans = self._get_overflow()
+        if len(spans) == 0:
+            return
+        cfg = self.config
+        o_lo = np.searchsorted(spans.mass, lows, side="left")
+        o_hi = np.searchsorted(spans.mass, highs, side="right")
+        db = self.database
+        for j in range(len(order)):
+            a, b = int(o_lo[j]), int(o_hi[j])
+            if b <= a:
+                continue
+            spectrum = queries[int(order[j])]
+            hitlist = hitlists[spectrum.query_id]
+            sel = spans.take(np.arange(a, b))
+            n_total = len(sel)
+            stats.candidates_evaluated += n_total
+            long_enough = sel.lengths >= cfg.min_candidate_length
+            n_short = n_total - int(long_enough.sum())
+            if n_short:
+                hitlist.evaluated += n_short
+                sel = sel.take(long_enough)
+                if len(sel) == 0:
+                    continue
+            batch = CandidateBatch.from_spans(db, sel, {})
+            scores = batch_scores(self.scorer, spectrum, batch)
+            stats.batches += 1
+            stats.rows_scored += batch.num_rows
+            if cfg.score_cutoff is not None:
+                passing = scores >= cfg.score_cutoff
+                n_fail = len(scores) - int(passing.sum())
+                if n_fail:
+                    hitlist.evaluated += n_fail
+                    sel = sel.take(passing)
+                    scores = scores[passing]
+            hitlist.add_batch(
+                spectrum.query_id,
+                scores,
+                db.ids[sel.seq_index],
+                sel.start,
+                sel.stop,
+                sel.mass,
+                sel.mod_delta,
+            )
+
+
+def split_partition_ranges(
+    num_partitions: int, num_workers: int
+) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal ``[lo, hi)`` partition ranges for workers.
+
+    Every partition is owned by exactly one range; empty ranges are
+    possible when workers outnumber partitions (their searchers stream
+    nothing but may still own overflow if they hold range start 0).
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    base = num_partitions // num_workers
+    extra = num_partitions % num_workers
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for w in range(num_workers):
+        size = base + (1 if w < extra else 0)
+        ranges.append((lo, lo + size))
+        lo += size
+    return ranges

@@ -94,8 +94,10 @@ def _shard_wire_nbytes(wire: _ShardWire) -> int:
 # either way, per-task payloads never carry buffers again.
 
 _TASK_CONTEXT: Optional[Dict[str, Any]] = None
-#: per-process rebuilt state: {"searchers": {shard_id: ShardSearcher},
-#: "queries": {block_id: [Spectrum]}, "store": StoredIndex (mmap-once)}
+#: per-process rebuilt state: {"searchers": {shard_id: searcher},
+#: "queries": {block_id: [Spectrum]}, "store": StoredIndex or
+#: PartitionedIndex (opened once), "database": mmapped ProteinDatabase
+#: (partitioned stores only)}
 _PROCESS_CACHE: Dict[str, Any] = {}
 
 
@@ -142,6 +144,32 @@ def _cached_searcher(shard_id: int) -> Tuple[ShardSearcher, float, float]:
     if searcher is not None:
         return searcher, 0.0, 0.0
     index_path = _TASK_CONTEXT.get("index_path")
+    ranges = _TASK_CONTEXT.get("partition_ranges")
+    if ranges is not None:
+        # Partitioned store: this worker's "shard" is a contiguous range
+        # of m/z partitions streamed through a StreamingSearcher.  Only
+        # the path string crossed the process boundary; the directory
+        # and the database buffers map once per process, and partition
+        # blobs stream through the double buffer at search time.
+        from repro.core.streaming import StreamingSearcher
+        from repro.store import open_any_index
+
+        t0 = time.perf_counter()
+        store = _PROCESS_CACHE.get("store")
+        if store is None:
+            store = _PROCESS_CACHE["store"] = open_any_index(index_path)
+        database = _PROCESS_CACHE.get("database")
+        if database is None:
+            database = _PROCESS_CACHE["database"] = store.load_database()
+        searcher = cache[shard_id] = StreamingSearcher(
+            store,
+            _TASK_CONTEXT["config"],
+            database=database,
+            partition_range=ranges[shard_id],
+            own_overflow=(shard_id == 0),
+            memory_budget_mb=_TASK_CONTEXT.get("memory_budget_mb"),
+        )
+        return searcher, 0.0, time.perf_counter() - t0
     if index_path is not None:
         from repro.store import open_index
 
@@ -314,6 +342,7 @@ def run_multiprocess_search(
     resume: bool = False,
     fault_injector: Optional[FaultInjector] = None,
     index_path: Optional[str] = None,
+    memory_budget_mb: Optional[float] = None,
 ) -> SearchReport:
     """Search with real OS processes; returns wall-clock in virtual_time.
 
@@ -341,6 +370,15 @@ def run_multiprocess_search(
     only the path string crosses the process boundary, so
     ``bytes_shipped`` drops to the packed queries plus task ids, and
     hits remain bitwise identical to the rebuild path.
+
+    When ``index_path`` names a *partitioned* store
+    (``repro.index_store_partitioned/1``) the decomposition changes
+    from database shards to disjoint contiguous partition ranges: each
+    worker streams its ``[lo, hi)`` slice of m/z partitions through a
+    :class:`~repro.core.streaming.StreamingSearcher` (double-buffered
+    prefetch, optional per-worker ``memory_budget_mb``), worker 0 also
+    scores the out-of-envelope overflow blob, and merged hits stay
+    bitwise identical to both the resident and serial streamed paths.
     """
     config = config or SearchConfig()
     if num_workers is None:
@@ -351,21 +389,47 @@ def run_multiprocess_search(
         raise ValueError(f"query_blocks must be >= 1, got {query_blocks}")
     policy = retry_policy or RetryPolicy(max_retries=max_retries)
     store = None
+    partition_ranges: Optional[List[Tuple[int, int]]] = None
     if index_path is not None:
         from repro.errors import IndexCompatError
-        from repro.store import open_index
+        from repro.store import open_any_index
+        from repro.store.partitioned import PartitionedIndex
 
-        problems = index_compat_problems(config)
-        if problems:
-            raise IndexCompatError(
-                "this search cannot be served from the persisted index: "
-                + "; ".join(problems)
+        store = open_any_index(index_path)
+        if isinstance(store, PartitionedIndex):
+            from repro.core.streaming import (
+                split_partition_ranges,
+                streaming_compat_problems,
             )
-        store = open_index(index_path)
-        store.validate_against(database)
-        num_shards = store.num_shards
-        shards = None
-        shard_bytes = [layout.shard_nbytes for layout in store.layouts]
+
+            problems = streaming_compat_problems(config)
+            if problems:
+                raise IndexCompatError(
+                    "this search cannot be streamed from the partitioned "
+                    "index: " + "; ".join(problems)
+                )
+            store.validate_against(database)
+            partition_ranges = split_partition_ranges(
+                store.num_partitions, num_workers * max(1, shards_per_worker)
+            )
+            num_shards = len(partition_ranges)
+            shards = None
+            # per-range compressed bytes: what each worker's stream reads
+            shard_bytes = [
+                sum(store.partitions[p].blob_bytes for p in range(lo, hi))
+                for lo, hi in partition_ranges
+            ]
+        else:
+            problems = index_compat_problems(config)
+            if problems:
+                raise IndexCompatError(
+                    "this search cannot be served from the persisted index: "
+                    + "; ".join(problems)
+                )
+            store.validate_against(database)
+            num_shards = store.num_shards
+            shards = None
+            shard_bytes = [layout.shard_nbytes for layout in store.layouts]
     else:
         nshards = num_workers * max(1, shards_per_worker)
         shards = [s for s in partition_database(database, nshards) if len(s) > 0]
@@ -389,6 +453,9 @@ def run_multiprocess_search(
     }
     if store is not None:
         context["index_path"] = str(index_path)
+        if partition_ranges is not None:
+            context["partition_ranges"] = partition_ranges
+            context["memory_budget_mb"] = memory_budget_mb
     else:
         shard_wires = [shard.to_buffers() for shard in shards]
         context["shard_wires"] = shard_wires
@@ -529,7 +596,14 @@ def run_multiprocess_search(
         "failed_tasks": supervisor.failed_tasks,
         "degraded": bool(supervisor.failed_tasks),
     }
-    if store is not None:
+    if partition_ranges is not None:
+        extras["index_path"] = str(index_path)
+        extras["num_partitions"] = int(store.num_partitions)
+        extras["partition_ranges"] = [list(r) for r in partition_ranges]
+        extras["index_stream_bytes"] = int(store.blob_bytes)
+        extras["index_decoded_bytes"] = int(store.decoded_bytes)
+        extras["index_provenance"] = store.provenance("streamed")
+    elif store is not None:
         extras["index_path"] = str(index_path)
         extras["index_mmap_bytes"] = int(store.nbytes)
         extras["index_provenance"] = store.provenance("loaded")

@@ -70,7 +70,8 @@ import numpy as np
 from repro.candidates.mass_index import CandidateSpans, MassIndex
 from repro.chem.amino_acids import mass_table
 from repro.chem.protein import ProteinDatabase
-from repro.index.layout import ArraySpec, IndexLayout
+from repro.errors import IndexStoreError
+from repro.index.layout import PARTITION_SCHEMA, ArraySpec, IndexLayout
 from repro.spectra.binning import row_segment_sums
 from repro.spectra.theoretical import IonSeries, by_ion_ladder_rows, fragment_mz_rows
 
@@ -288,12 +289,95 @@ class IndexBuilder:
         prefix_row[off[pre] + spans.stop[pre] - 1] = rows[pre]
         suffix_row[off[suf] + spans.start[suf]] = rows[suf]
 
-        # Per-length dense fragment matrices, generated with the same
-        # batched kernels the direct scoring path runs per query, then
-        # flattened into one contiguous buffer per matrix kind.
+        arrays, num_fragments = self._fragment_arrays(shard, spans)
+        arrays.update(
+            {
+                "shard_residues": shard.residues,
+                "shard_offsets": shard.offsets,
+                "shard_ids": shard.ids,
+                "prefix_row": prefix_row,
+                "suffix_row": suffix_row,
+            }
+        )
+        layout = IndexLayout(
+            num_rows=num_rows,
+            max_length=self.max_length,
+            bin_width=self.bin_width,
+            num_fragments=num_fragments,
+            fragment_tolerance=self.fragment_tolerance,
+            monoisotopic=self.monoisotopic,
+            arrays={
+                name: ArraySpec(str(a.dtype), tuple(a.shape))
+                for name, a in arrays.items()
+            },
+        )
+        return BuiltIndex(
+            layout=layout,
+            arrays=arrays,
+            shard=shard,
+            build_time=time.perf_counter() - build_start,
+        )
+
+    def build_partition(
+        self, shard: ProteinDatabase, spans: CandidateSpans
+    ) -> Tuple[IndexLayout, Dict[str, np.ndarray]]:
+        """Build one m/z partition from a mass-sorted span slice.
+
+        ``spans`` must be a contiguous slice of the full precursor-major
+        (mass-sorted, length-filtered) span set — exactly what
+        :func:`repro.store.partitioned.save_partitioned_index` cuts.
+        Row ids are partition-local; the fragment m/z values, posting
+        predicates, and per-row scores are byte-for-byte what the same
+        rows produce inside a whole-shard build, because both run the
+        identical kernels on the identical residue windows.
+
+        Instead of the flat-position span->row maps (which need O(shard)
+        memory and are only used by :meth:`FragmentIndex.rows_for`), a
+        partition stores hit-emission columns: ``row_protein`` /
+        ``row_start`` / ``row_stop`` / ``row_mass``.
+        """
+        arrays, num_fragments = self._fragment_arrays(shard, spans)
+        arrays.update(
+            {
+                "row_protein": np.ascontiguousarray(
+                    shard.ids[spans.seq_index], dtype=np.int64
+                ),
+                "row_start": np.ascontiguousarray(spans.start, dtype=np.int64),
+                "row_stop": np.ascontiguousarray(spans.stop, dtype=np.int64),
+                "row_mass": np.ascontiguousarray(spans.mass, dtype=np.float64),
+            }
+        )
+        layout = IndexLayout(
+            num_rows=len(spans),
+            max_length=self.max_length,
+            bin_width=self.bin_width,
+            num_fragments=num_fragments,
+            fragment_tolerance=self.fragment_tolerance,
+            monoisotopic=self.monoisotopic,
+            arrays={
+                name: ArraySpec(str(a.dtype), tuple(a.shape))
+                for name, a in arrays.items()
+            },
+            schema=PARTITION_SCHEMA,
+        )
+        return layout, arrays
+
+    def _fragment_arrays(
+        self, shard: ProteinDatabase, spans: CandidateSpans
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """Fragment matrices + posting lists for a row-ordered span set.
+
+        The shared core of :meth:`build` (whole shard) and
+        :meth:`build_partition` (one mass slice): per-length dense
+        matrices generated with the same batched kernels the direct
+        scoring path runs per query, flattened into contiguous buffers,
+        plus both posting lists keyed on local row ids.
+        """
+        num_rows = len(spans)
+        row_length = np.ascontiguousarray(spans.lengths, dtype=np.int64)
         group_pos = np.empty(num_rows, dtype=np.int64)
         table = mass_table(self.monoisotopic)
-        abs_start = off + spans.start
+        abs_start = shard.offsets[spans.seq_index] + spans.start
         unique_lengths = np.unique(row_length) if num_rows else np.empty(0, np.int64)
         group_rows: List[np.ndarray] = []
         ladders: List[np.ndarray] = []
@@ -331,12 +415,7 @@ class IndexBuilder:
 
         counts = np.array([len(r) for r in group_rows], dtype=np.int64)
         arrays: Dict[str, np.ndarray] = {
-            "shard_residues": shard.residues,
-            "shard_offsets": shard.offsets,
-            "shard_ids": shard.ids,
             "row_length": row_length,
-            "prefix_row": prefix_row,
-            "suffix_row": suffix_row,
             "group_pos": group_pos,
             "group_lengths": np.ascontiguousarray(unique_lengths, dtype=np.int64),
             "group_row_splits": np.concatenate(
@@ -356,24 +435,7 @@ class IndexBuilder:
             "series_tag": ser_tag,
             "series_bin_start": ser_bin_start,
         }
-        layout = IndexLayout(
-            num_rows=num_rows,
-            max_length=self.max_length,
-            bin_width=self.bin_width,
-            num_fragments=len(lad_mz) + len(ser_mz),
-            fragment_tolerance=self.fragment_tolerance,
-            monoisotopic=self.monoisotopic,
-            arrays={
-                name: ArraySpec(str(a.dtype), tuple(a.shape))
-                for name, a in arrays.items()
-            },
-        )
-        return BuiltIndex(
-            layout=layout,
-            arrays=arrays,
-            shard=shard,
-            build_time=time.perf_counter() - build_start,
-        )
+        return arrays, len(lad_mz) + len(ser_mz)
 
 
 class FragmentIndex:
@@ -412,10 +474,12 @@ class FragmentIndex:
 
         ``shard`` defaults to a ProteinDatabase rebuilt zero-copy from
         the layout's own ``shard_*`` buffers, so a persisted directory
-        is self-contained.  ``build_time`` is 0: a loaded view never
-        paid a build.
+        is self-contained.  Partition views (``PARTITION_SCHEMA``) carry
+        no shard buffers; callers may pass the database explicitly, but
+        scoring never touches it — every kernel reads only the decoded
+        arrays.  ``build_time`` is 0: a loaded view never paid a build.
         """
-        if shard is None:
+        if shard is None and "shard_residues" in arrays:
             shard = ProteinDatabase.from_buffers(
                 arrays["shard_residues"], arrays["shard_offsets"], arrays["shard_ids"]
             )
@@ -439,8 +503,12 @@ class FragmentIndex:
         self.bin_width = layout.bin_width
         self.num_fragments = layout.num_fragments
         self.row_length = arrays["row_length"]
-        self._prefix_row = arrays["prefix_row"]
-        self._suffix_row = arrays["suffix_row"]
+        # Partition views carry hit-emission columns instead of the
+        # flat-position span->row maps; ``rows_for`` guards on their
+        # absence (streamed scoring selects rows by searchsorted on
+        # ``row_mass``, never via rows_for).
+        self._prefix_row = arrays.get("prefix_row")
+        self._suffix_row = arrays.get("suffix_row")
         self._group_pos = arrays["group_pos"]
         self._groups: Dict[int, _LengthGroup] = {}
         g_len = arrays["group_lengths"]
@@ -500,6 +568,11 @@ class FragmentIndex:
         the direct batch path.
         """
         n = len(spans)
+        if self._prefix_row is None:
+            raise IndexStoreError(
+                "rows_for is not available on a partition view "
+                f"(schema {self.layout.schema!r})"
+            )
         if n == 0 or self.num_rows == 0:
             return np.full(n, -1, dtype=np.int64)
         off = self.shard.offsets[spans.seq_index]

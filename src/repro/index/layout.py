@@ -28,11 +28,18 @@ from repro.errors import IndexStoreError
 #: trailing integer on breaking changes to the array set or semantics
 SCHEMA = "repro.fragment_index/1"
 
+#: schema identifier for one m/z *partition* of the out-of-core store
+#: (``repro.store.partitioned``): a mass-contiguous slice of the
+#: precursor-major span set, with hit-emission columns instead of the
+#: flat-position span->row maps (``rows_for`` is never called on a
+#: partition — candidate selection is a searchsorted on ``row_mass``).
+PARTITION_SCHEMA = "repro.fragment_index_partition/1"
+
 #: arrays holding the shard's own ProteinDatabase buffers — saved with
 #: the index so a loaded shard needs nothing beyond the store directory
 SHARD_ARRAYS = ("shard_residues", "shard_offsets", "shard_ids")
 
-#: every array a layout must describe, in canonical order
+#: every array a full-shard layout must describe, in canonical order
 ARRAY_NAMES = SHARD_ARRAYS + (
     # precursor-major row metadata
     "row_length",
@@ -58,6 +65,52 @@ ARRAY_NAMES = SHARD_ARRAYS + (
     "series_tag",
     "series_bin_start",
 )
+
+#: every array a partition layout describes once decoded.  ``row_*``
+#: columns carry what hit emission needs (protein id, span bounds, the
+#: exact float64 span mass candidate windows select on); the shard
+#: buffers and prefix/suffix maps are absent by design.
+PARTITION_ARRAY_NAMES = (
+    "row_length",
+    "row_protein",
+    "row_start",
+    "row_stop",
+    "row_mass",
+    "group_pos",
+    "group_lengths",
+    "group_row_splits",
+    "group_rows",
+    "group_ladder",
+    "group_b",
+    "group_y",
+    "ladder_key",
+    "ladder_mz",
+    "ladder_row",
+    "ladder_bin_start",
+    "series_key",
+    "series_mz",
+    "series_row",
+    "series_tag",
+    "series_bin_start",
+)
+
+#: the subset of partition arrays that is actually persisted in the
+#: compressed blob.  Posting rows and bin-start tables are derived at
+#: decode time from the keys alone (``row = key % (num_rows + 1)``,
+#: ``bin_start`` by one searchsorted over the key's bin component), so
+#: storing them would only inflate the blob.
+PARTITION_STORED_ARRAYS = tuple(
+    name
+    for name in PARTITION_ARRAY_NAMES
+    if name
+    not in ("ladder_row", "ladder_bin_start", "series_row", "series_bin_start")
+)
+
+#: layout schema -> required decoded-array set
+SCHEMA_ARRAYS = {
+    SCHEMA: ARRAY_NAMES,
+    PARTITION_SCHEMA: PARTITION_ARRAY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -153,12 +206,13 @@ class IndexLayout:
             raise IndexStoreError("index layout is not a JSON object")
         schema = payload.get("schema")
         if not isinstance(schema, str) or not schema.startswith(
-            "repro.fragment_index/"
+            ("repro.fragment_index/", "repro.fragment_index_partition/")
         ):
             raise IndexStoreError(f"unrecognized index layout schema {schema!r}")
-        if schema != SCHEMA:
+        if schema not in SCHEMA_ARRAYS:
             raise IndexStoreError(
-                f"unsupported index layout schema {schema!r} (this build reads {SCHEMA})"
+                f"unsupported index layout schema {schema!r} "
+                f"(this build reads {sorted(SCHEMA_ARRAYS)})"
             )
         try:
             arrays = {
@@ -177,7 +231,9 @@ class IndexLayout:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise IndexStoreError(f"malformed index layout: {exc!r}") from None
-        missing = [name for name in ARRAY_NAMES if name not in arrays]
+        missing = [
+            name for name in SCHEMA_ARRAYS[schema] if name not in arrays
+        ]
         if missing:
             raise IndexStoreError(f"index layout is missing arrays {missing}")
         return layout
@@ -192,7 +248,7 @@ class IndexLayout:
         silently wrong postings.
         """
         problems = []
-        for name in ARRAY_NAMES:
+        for name in SCHEMA_ARRAYS.get(self.schema, ARRAY_NAMES):
             if name not in arrays:
                 problems.append(f"missing array {name!r}")
                 continue

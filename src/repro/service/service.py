@@ -61,7 +61,8 @@ from repro.scoring.hits import TopHitList
 from repro.service.config import ServiceConfig
 from repro.service.request import RequestHandle, SearchResponse
 from repro.spectra.spectrum import Spectrum
-from repro.store.index_store import StoredIndex, open_index
+from repro.store.index_store import StoredIndex
+from repro.store.partitioned import PartitionedIndex, open_any_index
 
 #: buckets for the batch-size histogram (queries per executed batch)
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
@@ -104,9 +105,14 @@ class SearchService:
     """A resident, supervised, coalescing search server.
 
     Construct with exactly one source of shards — ``store`` (a
-    :class:`~repro.store.index_store.StoredIndex` or a path to one) or
-    ``database`` — then :meth:`start`, :meth:`submit`/:meth:`search`
-    from any number of threads, and :meth:`stop` to drain.
+    :class:`~repro.store.index_store.StoredIndex`, a
+    :class:`~repro.store.partitioned.PartitionedIndex`, or a path to
+    either) or ``database`` — then :meth:`start`,
+    :meth:`submit`/:meth:`search` from any number of threads, and
+    :meth:`stop` to drain.  With a partitioned store each worker owns a
+    :class:`~repro.core.streaming.StreamingSearcher`: resident memory
+    stays at directory + double buffer per worker regardless of store
+    size, and ``memory_budget_mb`` bounds each worker's stream.
     """
 
     def __init__(
@@ -115,8 +121,9 @@ class SearchService:
         service_config: Optional[ServiceConfig] = None,
         *,
         database: Optional[ProteinDatabase] = None,
-        store: Union[StoredIndex, str, None] = None,
+        store: Union[StoredIndex, PartitionedIndex, str, None] = None,
         fault_plan: Optional[FaultPlan] = None,
+        memory_budget_mb: Optional[float] = None,
     ):
         if (database is None) == (store is None):
             raise ConfigError(
@@ -125,9 +132,25 @@ class SearchService:
         self.config = config
         self.service_config = service_config or ServiceConfig()
         self._database = database
-        self._store: Optional[StoredIndex] = None
+        self._store: Union[StoredIndex, PartitionedIndex, None] = None
+        self._memory_budget_mb = memory_budget_mb
+        self._stream_database: Optional[ProteinDatabase] = None
         if store is not None:
-            self._store = store if isinstance(store, StoredIndex) else open_index(store)
+            self._store = (
+                store
+                if isinstance(store, (StoredIndex, PartitionedIndex))
+                else open_any_index(store)
+            )
+        if isinstance(self._store, PartitionedIndex):
+            from repro.core.streaming import streaming_compat_problems
+            from repro.errors import IndexCompatError
+
+            problems = streaming_compat_problems(config)
+            if problems:
+                raise IndexCompatError(
+                    "this service cannot stream the partitioned index: "
+                    + "; ".join(problems)
+                )
         self._injector: Optional[ServiceFaultInjector] = None
         if fault_plan is not None and fault_plan.service is not None:
             self._injector = ServiceFaultInjector(fault_plan.service)
@@ -390,6 +413,22 @@ class SearchService:
         worker.thread.start()
 
     def _make_searchers(self) -> List[ShardSearcher]:
+        if isinstance(self._store, PartitionedIndex):
+            # One streaming searcher per worker over the full partition
+            # range; the mmapped database buffers are shared (read-only),
+            # the scorer and stream state are per-worker.
+            from repro.core.streaming import StreamingSearcher
+
+            if self._stream_database is None:
+                self._stream_database = self._store.load_database()
+            return [
+                StreamingSearcher(
+                    self._store,
+                    self.config,
+                    database=self._stream_database,
+                    memory_budget_mb=self._memory_budget_mb,
+                )
+            ]
         if self._store is not None:
             loaded = [
                 self._store.load_shard(i) for i in range(self._store.num_shards)

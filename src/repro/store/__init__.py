@@ -19,15 +19,31 @@ from repro.store.index_store import (
     rebuilt_provenance,
     save_index,
 )
+from repro.store.partitioned import (
+    PARTITIONED_SCHEMA,
+    PartitionedIndex,
+    StreamingIndexReader,
+    StreamStats,
+    open_any_index,
+    open_partitioned_index,
+    save_partitioned_index,
+)
 
 __all__ = [
     "HEADER_NAME",
+    "PARTITIONED_SCHEMA",
     "STORE_SCHEMA",
     "LoadedShard",
+    "PartitionedIndex",
     "StoredIndex",
+    "StreamStats",
+    "StreamingIndexReader",
     "build_config_from_search",
     "compute_fingerprint",
+    "open_any_index",
     "open_index",
+    "open_partitioned_index",
     "rebuilt_provenance",
     "save_index",
+    "save_partitioned_index",
 ]

@@ -118,3 +118,46 @@ def generate_database(
     return SyntheticProteinGenerator(seed=seed, mean_length=mean_length).database(
         n, name_prefix
     )
+
+
+#: Named scale tiers over the paper's Table I microbial size grid
+#: ("arbitrary subsets of sizes 1K, 2K, 4K, ... up to 2.65 million").
+#: Because sequence ``k`` is identical regardless of the total
+#: requested, every tier's databases are literal prefixes of the next
+#: tier's — and of the full 2,655,064-sequence Table I set — so scaling
+#: experiments across tiers measure size, never content drift.  "full"
+#: is the paper's grid at full size; out-of-core runs (the partitioned
+#: store) are what make its top end searchable without holding the
+#: fragment index resident.
+SCALE_TIERS = {
+    "smoke": (1_000, 2_000),
+    "small": (1_000, 2_000, 4_000, 8_000),
+    "medium": (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000),
+    "large": (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000,
+              100_000, 200_000, 400_000, 800_000),
+    "full": (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000,
+             100_000, 200_000, 400_000, 800_000, 1_000_000, 2_000_000,
+             2_655_064),
+}
+
+
+def scale_tier_sizes(tier: str) -> list:
+    """Database sizes (ascending) for a named Table I scale tier."""
+    try:
+        return list(SCALE_TIERS[tier])
+    except KeyError:
+        raise KeyError(
+            f"unknown scale tier {tier!r}; expected {sorted(SCALE_TIERS)}"
+        ) from None
+
+
+def tier_database(n: int) -> ProteinDatabase:
+    """The first ``n`` sequences of the Table I microbial stand-in.
+
+    Prefix-consistent across every ``n`` (and identical to
+    ``load_dataset("microbial", n=n)``), so all tier sizes share their
+    common prefix byte-for-byte.
+    """
+    from repro.workloads.datasets import MICROBIAL  # deferred: datasets imports us
+
+    return MICROBIAL.build(n=n)
