@@ -14,6 +14,11 @@ Commands:
 * ``validate`` — check that Algorithms A and B reproduce the serial
   engine's output exactly (the paper's validation experiment).
 * ``calibrate`` — measure this host's per-candidate scoring cost.
+* ``tune``     — calibrate the cost model against this host, search the
+  configuration grid for the lowest predicted makespan, run the pick,
+  and report predicted-vs-measured phase times plus overlap lower
+  bounds (docs/autotuning.md).  ``search --autotune`` applies the same
+  planner to a search; explicitly typed flags always win.
 * ``trace``    — export one run's timeline as Chrome trace-event JSON
   (open in chrome://tracing or Perfetto) or an ascii gantt.
 * ``serve``    — start the long-lived search service and replay a
@@ -28,6 +33,7 @@ metrics snapshot in one document); see docs/observability.md.
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import List, Optional
@@ -115,6 +121,74 @@ def _add_search_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _explicit_cli_options(argv: List[str]) -> set:
+    """Option strings the user actually typed (``--flag`` / ``--flag=x`` / ``-f``).
+
+    argparse cannot distinguish a default from an explicitly passed
+    default, so ``--autotune`` precedence ("explicit wins") scans the
+    raw argv instead.
+    """
+    seen = set()
+    for token in argv:
+        if token == "--":
+            break
+        if token.startswith("--"):
+            seen.add(token.split("=", 1)[0])
+        elif token.startswith("-") and len(token) > 1 and not token[1].isdigit():
+            seen.add(token[:2])
+    return seen
+
+
+def _apply_autotune(args: argparse.Namespace, db, queries):
+    """Let the autotuner pick engine/knobs; explicitly typed flags win.
+
+    Mutates ``args`` in place for every knob the user did not type,
+    warns (stderr) for each explicit flag that contradicts the
+    autotuned choice, and returns the RunReport ``tuning`` section.
+    """
+    from repro.tune import autotune
+
+    result = autotune(
+        db,
+        queries,
+        _make_config(args),
+        cache_path=args.tune_cache,
+        run=False,
+        lower_bounds=False,
+    )
+    plan = result.chosen
+    explicit = _explicit_cli_options(getattr(args, "_cli_argv", []))
+    knobs = [
+        ("algorithm", {"--algorithm", "-a"},
+         "multiproc" if plan.engine == "multiproc" else "serial"),
+        ("ranks", {"--ranks", "-p"},
+         plan.num_workers if plan.engine == "multiproc" else 1),
+        ("use_index", {"--use-index", "--no-index"}, plan.use_index),
+        ("use_sweep", {"--use-sweep", "--no-sweep"}, plan.use_sweep),
+        ("sweep_cohort", {"--sweep-cohort"}, plan.sweep_cohort),
+        ("query_blocks", {"--query-blocks"}, plan.query_blocks),
+        ("start_method", {"--start-method"}, plan.start_method),
+    ]
+    for attr, options, value in knobs:
+        typed = options & explicit
+        if typed:
+            if getattr(args, attr) != value:
+                print(
+                    f"warning: explicit {sorted(typed)[0]} overrides the "
+                    f"autotuned choice ({value!r}); the predicted makespan "
+                    f"no longer applies",
+                    file=sys.stderr,
+                )
+        else:
+            setattr(args, attr, value)
+    print(
+        f"autotune: chose {plan.label} (predicted "
+        f"{result.prediction.total:.3f}s over {len(result.ranking)} "
+        f"feasible configuration(s), calibration {result.calibration.source})"
+    )
+    return result.tuning
+
+
 def _make_config(args: argparse.Namespace, execution: ExecutionMode = ExecutionMode.REAL) -> SearchConfig:
     return SearchConfig(
         delta=args.delta,
@@ -145,6 +219,17 @@ def cmd_search(args: argparse.Namespace) -> int:
         else generate_database(args.database_size, seed=args.seed)
     )
     queries = generate_queries(args.queries, seed=args.query_seed)
+    tuning_section = None
+    if args.autotune:
+        tuning_section = _apply_autotune(args, db, queries)
+    if args.memory_budget_mb is not None and not args.stream and not args.index_path:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            "--memory-budget-mb bounds streamed partition residency and is "
+            "silently meaningless for resident runs; add --stream, or point "
+            "--index-path at a partitioned store"
+        )
     config = _make_config(args)
     index_path = args.index_path
     stream_tmp = None
@@ -205,6 +290,14 @@ def cmd_search(args: argparse.Namespace) -> int:
                     f"(`repro index build --partition-mb ...`); "
                     f"{index_path} holds a resident-format store"
                 )
+            if args.memory_budget_mb is not None:
+                from repro.errors import ConfigError
+
+                raise ConfigError(
+                    f"--memory-budget-mb bounds streamed partition residency; "
+                    f"{index_path} holds a resident-format store that is "
+                    f"memory-mapped whole"
+                )
             problems = index_compat_problems(config)
             if problems:
                 raise IndexCompatError(
@@ -240,6 +333,8 @@ def cmd_search(args: argparse.Namespace) -> int:
             queries,
             num_workers=args.ranks,
             config=config,
+            query_blocks=args.query_blocks,
+            start_method=args.start_method,
             max_retries=args.max_retries,
             task_timeout=args.task_timeout,
             checkpoint_path=args.checkpoint,
@@ -296,9 +391,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         from repro.obs.report import RunReport
 
         enable_metrics(False)
-        RunReport.from_search_report(report, metrics=registry.snapshot()).write(
-            args.report_out
-        )
+        RunReport.from_search_report(
+            report, metrics=registry.snapshot(), tuning=tuning_section
+        ).write(args.report_out)
         print(f"wrote run report to {args.report_out}")
     if args.output:
         from repro.core.results import write_tsv
@@ -802,6 +897,134 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if unanswered else 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Calibrate, search the configuration grid, run the pick, verify.
+
+    Prints the calibrated terms that moved furthest off their defaults,
+    the predicted-makespan ranking, the chosen run's predicted-vs-
+    measured phase table, and the overlap lower bounds at simulated
+    rank counts.  ``--report-out`` writes the full RunReport with the
+    ``tuning`` section attached.
+    """
+    from repro.tune import autotune
+    from repro.tune.calibrate import CalibrationSpec
+
+    db = (
+        read_fasta(args.database)
+        if args.database
+        else generate_database(args.database_size, seed=args.seed)
+    )
+    queries = generate_queries(args.queries, seed=args.query_seed)
+    config = _make_config(args)
+    store = None
+    if args.index_path:
+        from repro.errors import IndexCompatError
+        from repro.store import open_any_index
+        from repro.store.partitioned import PartitionedIndex
+
+        store = open_any_index(args.index_path)
+        if not isinstance(store, PartitionedIndex):
+            raise IndexCompatError(
+                f"repro tune streams only from partitioned stores "
+                f"(`repro index build --partition-mb ...`); "
+                f"{args.index_path} holds a resident-format store"
+            )
+    spec = (
+        CalibrationSpec(
+            db_size=120, num_queries=80, store_db_size=60,
+            repeats=1, include_spawn=False,
+        )
+        if args.quick
+        else CalibrationSpec()
+    )
+    result = autotune(
+        db,
+        queries,
+        config,
+        cache_path=args.tune_cache,
+        force_calibrate=args.force_calibrate,
+        spec=spec,
+        store=store,
+        store_path=args.index_path,
+        memory_budget_mb=args.memory_budget_mb,
+        run=not args.plan_only,
+        anchor_ranks=args.anchor_ranks if args.anchor_ranks > 0 else None,
+    )
+
+    cal = result.calibration
+    print(f"calibration: {cal.source}" + (f" ({cal.cache_path})" if cal.cache_path else ""))
+    vs = cal.details.get("vs_defaults") or {}
+    moved = sorted(
+        (k for k in vs if vs[k].get("ratio") is not None),
+        key=lambda k: abs(math.log10(max(vs[k]["ratio"], 1e-12))),
+        reverse=True,
+    )
+    for key in moved[: args.show_terms]:
+        entry = vs[key]
+        print(
+            f"  {key:<26} {entry['calibrated']:.3e}  "
+            f"(default {entry['default']:.3e}, x{entry['ratio']:.2f})"
+        )
+    print(
+        f"grid: {len(result.ranking)} feasible, {len(result.pruned)} pruned; "
+        f"chose {result.chosen.label} (predicted {result.prediction.total:.3f}s)"
+    )
+    for plan, pred in result.ranking[: args.show_plans]:
+        marker = "->" if plan == result.chosen else "  "
+        print(f"  {marker} {pred.total:9.3f}s  {plan.label}")
+    if result.verification is not None:
+        ver = result.verification
+        err = ver["makespan_rel_error"]
+        print(
+            f"verification: measured {ver['measured_makespan_s']:.3f}s vs "
+            f"predicted {ver['predicted_makespan_s']:.3f}s"
+            + (f" ({err:+.0%})" if err is not None else "")
+        )
+        for name, phase in ver["phases"].items():
+            measured = (
+                f"{phase['measured_s']:.4f}s" if phase["measured_s"] is not None else "n/a"
+            )
+            rel = f" ({phase['rel_error']:+.0%})" if phase["rel_error"] is not None else ""
+            print(f"  {name:<28} predicted {phase['predicted_s']:.4f}s measured {measured}{rel}")
+        for name, term in ver["terms"].items():
+            rel = f" ({term['rel_error']:+.0%})" if term["rel_error"] is not None else ""
+            predicted = (
+                f"{term['predicted']:.3e}" if term["predicted"] is not None else "n/a"
+            )
+            print(f"  {name:<34} predicted {predicted} measured {term['measured']:.3e}{rel}")
+    if result.lower_bounds is not None:
+        print(f"lower bounds: {result.lower_bounds['model']}")
+        for p, point in result.lower_bounds["points"].items():
+            print(
+                f"  p={p:>5}: residual/compute {point['residual_to_compute']:.3f}, "
+                f"overlap efficiency {point['overlap_efficiency']:.3f}, "
+                f"floor {point['floor_makespan_s']:.3f}s "
+                f"({'comm' if point['comm_floor_s'] >= point['compute_floor_s'] else 'compute'}-bound)"
+            )
+        anchor = result.lower_bounds.get("simulated_anchor")
+        if anchor:
+            print(
+                f"  anchor (event simulator, p={anchor['ranks']}): makespan "
+                f"{anchor['makespan_s']:.3f}s, residual/compute "
+                f"{anchor['residual_to_compute']:.3f}"
+            )
+    if args.report_out:
+        from repro.obs.report import RunReport
+
+        if result.report is None:
+            print(
+                "error: --report-out needs the verification run; "
+                "drop --plan-only",
+                file=sys.stderr,
+            )
+            return 2
+        RunReport.from_search_report(result.report, tuning=result.tuning).write(
+            args.report_out
+        )
+        print(f"wrote run report to {args.report_out}")
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     result = calibrate_rho()
     print(
@@ -887,6 +1110,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a schema-versioned RunReport (JSON) with trace, fault "
         "stats and a metrics snapshot (see docs/observability.md)",
     )
+    p_search.add_argument(
+        "--query-blocks", type=_positive_int, default=1,
+        help="multiproc: split each shard task into this many query "
+        "sub-blocks (finer tasks, better balance)",
+    )
+    p_search.add_argument(
+        "--start-method", choices=["fork", "spawn", "forkserver"], default=None,
+        help="multiproc: worker start method (default: platform choice)",
+    )
+    p_search.add_argument(
+        "--autotune", action="store_true",
+        help="pick engine/knobs with the cost-model autotuner "
+        "(docs/autotuning.md); flags you type explicitly always win",
+    )
+    p_search.add_argument(
+        "--tune-cache", default=None,
+        help="autotune calibration cache path (default: "
+        "~/.cache/repro/calibration.json)",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_index = sub.add_parser(
@@ -946,6 +1188,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cal = sub.add_parser("calibrate", help="measure this host's scoring cost")
     p_cal.set_defaults(func=cmd_calibrate)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="calibrate the cost model, pick the best configuration, verify it",
+    )
+    _add_search_args(p_tune)
+    p_tune.add_argument(
+        "--database", type=_existing_file, default=None,
+        help="tune against a FASTA file instead of a synthetic database",
+    )
+    p_tune.add_argument(
+        "--index-path", default=None,
+        help="partitioned store to consider streamed plans against "
+        "(resident-format stores are rejected)",
+    )
+    p_tune.add_argument(
+        "--memory-budget-mb", type=_positive_float, default=None,
+        help="prune configurations whose resident footprint exceeds this",
+    )
+    p_tune.add_argument(
+        "--tune-cache", default=None,
+        help="calibration cache path (default: ~/.cache/repro/calibration.json)",
+    )
+    p_tune.add_argument(
+        "--force-calibrate", action="store_true",
+        help="re-measure even when a valid cache exists",
+    )
+    p_tune.add_argument(
+        "--quick", action="store_true",
+        help="smaller calibration battery (seconds, less precise)",
+    )
+    p_tune.add_argument(
+        "--plan-only", action="store_true",
+        help="stop after planning; skip the verification run",
+    )
+    p_tune.add_argument(
+        "--anchor-ranks", type=int, default=0,
+        help="also run the event simulator once at this rank count as a "
+        "lower-bound validation anchor (0 = off; 128 costs ~2s)",
+    )
+    p_tune.add_argument(
+        "--show-terms", type=_positive_int, default=8,
+        help="calibrated terms to print (furthest from defaults first)",
+    )
+    p_tune.add_argument(
+        "--show-plans", type=_positive_int, default=5,
+        help="ranked configurations to print",
+    )
+    p_tune.add_argument(
+        "--report-out", default=None,
+        help="write the verification run's RunReport with the tuning section",
+    )
+    p_tune.set_defaults(func=cmd_tune)
 
     p_rep = sub.add_parser("report", help="assemble bench outputs into one report")
     p_rep.add_argument("--output-dir", default="benchmarks/output")
@@ -1074,7 +1369,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw_argv)
+    # raw argv lets --autotune tell typed flags from argparse defaults
+    args._cli_argv = raw_argv
     try:
         return args.func(args)
     except ReproError as exc:

@@ -14,14 +14,27 @@ count, per-rank RAM — and returns a recommendation with the reasoning
 spelled out.  The integration tests check the advice against actual
 simulated runs: the recommended configuration must fit in memory and be
 within a tolerance of the best feasible one.
+
+Since PR 8 the knob set outgrew the paper's three-way ladder: the sweep
+kernel (PR 4) changes the per-query overhead calculus, and the
+partitioned out-of-core store (PR 8) caps peak index residency at two
+partitions regardless of N.  :func:`advise` folds both in — a workload
+that fits nowhere resident can still run streamed — and doubles as the
+feasibility pruner for the ``repro.tune`` configuration search.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.core.costmodel import CostModel
+
+#: Query count at which the candidate-major sweep overtakes the
+#: per-query path on the measured host (BENCH_sweep.json: speedup < 1 at
+#: 100 queries, 1.7-2.1x at 500, 2.1-3.1x at 1000 — windows only start
+#: coalescing once enough queries land in them).
+SWEEP_CROSSOVER_QUERIES = 500
 
 
 @dataclass(frozen=True)
@@ -31,12 +44,34 @@ class Advice:
     algorithm: str  #: engine name from repro.core.driver.ALGORITHMS
     num_groups: int  #: sub-group count (1 unless algorithm == subgroups)
     reasons: List[str]
+    use_sweep: bool = False  #: recommend the candidate-major sweep kernel
+    stream: bool = False  #: recommend the out-of-core streamed store
 
     @property
     def summary(self) -> str:
-        return f"{self.algorithm}" + (
+        base = f"{self.algorithm}" + (
             f" (g={self.num_groups})" if self.algorithm == "subgroups" else ""
         )
+        extras = [s for s in ("sweep" if self.use_sweep else "",
+                              "streamed" if self.stream else "") if s]
+        return base + (f" [{', '.join(extras)}]" if extras else "")
+
+
+def fits_in_budget(resident_bytes: int, budget_bytes: Optional[int]) -> bool:
+    """Memory-fit check shared by :func:`advise` and the tuner's pruner.
+
+    ``budget_bytes=None`` means no cap was given (everything fits).
+    """
+    if budget_bytes is None:
+        return True
+    return resident_bytes <= budget_bytes
+
+
+def streamed_residency_bytes(max_partition_bytes: int, query_bytes: int = 0) -> int:
+    """Peak memory of a streamed search: two partitions (the prefetch
+    double buffer) plus the queries — the PR 8 out-of-core invariant,
+    independent of database size."""
+    return 2 * max_partition_bytes + query_bytes
 
 
 def advise(
@@ -46,6 +81,9 @@ def advise(
     ram_per_rank: int = 1 << 30,
     cost: CostModel = CostModel(),
     query_bytes: int = 0,
+    num_queries: int = 0,
+    streaming_available: bool = False,
+    max_partition_bytes: int = 0,
 ) -> Advice:
     """Recommend an engine for a workload, per the paper's own guidance.
 
@@ -60,11 +98,28 @@ def advise(
        per-iteration overhead, same output).
     3. *Large inputs* — only the fully distributed O(N/p) layout fits:
        Algorithm A.
+    4. *Out-of-core inputs* — nothing resident fits, but a partitioned
+       store is available: stream it; peak residency is two partitions
+       regardless of N, so the fit test no longer involves the database
+       size at all.
+
+    Independently of the ladder, ``num_queries`` drives the sweep-kernel
+    recommendation: past the measured crossover the candidate-major
+    sweep amortizes window probes across cohorts.
     """
     if num_ranks < 1:
         raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
     footprint = cost.database_bytes(num_sequences, total_residues)
     reasons: List[str] = []
+
+    use_sweep = num_queries >= SWEEP_CROSSOVER_QUERIES
+    if use_sweep:
+        reasons.append(
+            f"{num_queries} queries is past the measured sweep crossover "
+            f"(~{SWEEP_CROSSOVER_QUERIES}, BENCH_sweep.json): mass-sorted "
+            "cohorts share candidate blocks, so the sweep kernel amortizes "
+            "window probes that the per-query path repeats"
+        )
 
     replicated_need = footprint + query_bytes
     if replicated_need <= ram_per_rank:
@@ -74,7 +129,7 @@ def advise(
             "overhead (paper Section III.A: 'the older version of "
             "MSPolygraph is more appropriate')"
         )
-        return Advice("master_worker", 1, reasons)
+        return Advice("master_worker", 1, reasons, use_sweep=use_sweep)
 
     # feasible sub-group counts: within a group of size p/g each rank
     # triple-buffers shards of footprint/(p/g)
@@ -94,14 +149,27 @@ def advise(
             "fewer rotation iterations than full distribution "
             "(paper Section III.A's medium-input extension)"
         )
-        return Advice("subgroups", best_g, reasons)
+        return Advice("subgroups", best_g, reasons, use_sweep=use_sweep)
     if best_g == 1:
         reasons.append(
             "only the fully distributed O(N/p) layout fits per-rank RAM: "
             "Algorithm A (the paper's main contribution exists for exactly "
             "this regime)"
         )
-        return Advice("algorithm_a", 1, reasons)
+        return Advice("algorithm_a", 1, reasons, use_sweep=use_sweep)
+    if streaming_available:
+        streamed_need = streamed_residency_bytes(max_partition_bytes, query_bytes)
+        if streamed_need <= ram_per_rank:
+            reasons.append(
+                f"no resident layout fits ({footprint} B across {num_ranks} "
+                f"ranks of {ram_per_rank} B), but the partitioned store "
+                f"streams with a two-partition double buffer "
+                f"({streamed_need} B peak): out-of-core residency is "
+                "independent of database size"
+            )
+            return Advice(
+                "algorithm_a", 1, reasons, use_sweep=use_sweep, stream=True
+            )
     raise ValueError(
         f"database footprint {footprint} B cannot fit even fully distributed "
         f"across {num_ranks} ranks of {ram_per_rank} B (need "

@@ -134,6 +134,10 @@ class RunReport:
     #: batch runs, so the schema version needs no bump — readers treat a
     #: missing key as "not a service run"
     service: Optional[Dict[str, Any]] = None
+    #: autotuner section (calibration terms, chosen plan, predicted vs.
+    #: measured phase times, lower-bound projection); None unless the
+    #: run was tuned — optional like ``service``, so no schema bump
+    tuning: Optional[Dict[str, Any]] = None
     schema: str = SCHEMA
 
     @property
@@ -150,11 +154,14 @@ class RunReport:
         report: "SearchReport",
         metrics: Optional[Dict[str, Any]] = None,
         service: Optional[Dict[str, Any]] = None,
+        tuning: Optional[Dict[str, Any]] = None,
     ) -> "RunReport":
         """Merge a SearchReport (+ optional metrics snapshot) into one record.
 
         ``service`` attaches a :meth:`SearchService.service_report`
-        payload for runs served by the long-lived service."""
+        payload for runs served by the long-lived service; ``tuning``
+        attaches the autotuner's :data:`repro.tune.tuner.TUNING_SCHEMA`
+        section for autotuned runs."""
         extras = canonicalize_extras(report.extras)
         peak = report.max_peak_memory
         return cls(
@@ -174,6 +181,7 @@ class RunReport:
             extras=extras,
             metrics=dict(metrics) if metrics else {},
             service=dict(service) if service else None,
+            tuning=dict(tuning) if tuning else None,
         )
 
     # -- serialization ---------------------------------------------------
@@ -195,6 +203,8 @@ class RunReport:
         }
         if self.service is not None:
             payload["service"] = dict(self.service)
+        if self.tuning is not None:
+            payload["tuning"] = dict(self.tuning)
         return payload
 
     def to_json(self) -> str:
@@ -223,6 +233,7 @@ class RunReport:
             extras=dict(payload["extras"]),
             metrics=dict(payload["metrics"]),
             service=dict(payload["service"]) if payload.get("service") else None,
+            tuning=dict(payload["tuning"]) if payload.get("tuning") else None,
             schema=payload["schema"],
         )
 
@@ -260,4 +271,7 @@ class RunReport:
         if "service" in payload and payload["service"] is not None:
             if not isinstance(payload["service"], dict):
                 problems.append("service must be null or an object")
+        if "tuning" in payload and payload["tuning"] is not None:
+            if not isinstance(payload["tuning"], dict):
+                problems.append("tuning must be null or an object")
         return problems

@@ -1,0 +1,158 @@
+"""Calibration-cache hygiene: atomic writes, fingerprinting, corruption.
+
+The contract under test (repro/tune/cache.py): a valid cache round-trips
+exactly; *every* way a cache can be untrustworthy — torn JSON, schema
+drift, another machine's fingerprint, non-physical term values — makes
+``load_calibration`` return ``None`` so the caller re-calibrates, never
+raises, and never returns half-trusted data.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.tune.cache import (
+    CACHE_SCHEMA,
+    load_calibration,
+    machine_fingerprint,
+    save_calibration,
+)
+from repro.tune.calibrate import Calibration, calibrate
+
+# the package re-exports the calibrate() *function* under the same name
+# as this submodule, which shadows plain attribute traversal — go
+# through the import system to get the module itself for monkeypatching
+import importlib
+
+calibrate_mod = importlib.import_module("repro.tune.calibrate")
+
+TERMS = {"rho_base": 1.5e-6, "tau_cost": 8.0e-7, "query_overhead": 2.0e-4}
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = str(tmp_path / "cal.json")
+        saved = save_calibration(path, TERMS, details={"note": "t"})
+        assert saved == path
+        payload = load_calibration(path)
+        assert payload is not None
+        assert payload["terms"] == TERMS
+        assert payload["schema"] == CACHE_SCHEMA
+        assert payload["fingerprint"] == machine_fingerprint()
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "deep" / "nest" / "cal.json")
+        save_calibration(path, TERMS)
+        assert load_calibration(path) is not None
+
+    def test_no_tmp_siblings_left_behind(self, tmp_path):
+        path = str(tmp_path / "cal.json")
+        save_calibration(path, TERMS)
+        assert os.listdir(tmp_path) == ["cal.json"]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "cal.json")
+        save_calibration(path, TERMS)
+        save_calibration(path, {**TERMS, "rho_base": 9e-6})
+        assert load_calibration(path)["terms"]["rho_base"] == 9e-6
+
+
+class TestInvalidation:
+    """Each distrust reason degrades to None, not an exception."""
+
+    def test_missing_file(self, tmp_path):
+        assert load_calibration(str(tmp_path / "absent.json")) is None
+
+    def test_torn_write(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(str(path), TERMS)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # truncated mid-file
+        assert load_calibration(str(path)) is None
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("\x00\xff garbage")
+        assert load_calibration(str(path)) is None
+
+    def test_json_but_not_object(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps(["not", "a", "dict"]))
+        assert load_calibration(str(path)) is None
+
+    def test_schema_drift(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(str(path), TERMS)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "repro.tune_calibration/999"
+        path.write_text(json.dumps(payload))
+        assert load_calibration(str(path)) is None
+
+    def test_foreign_fingerprint(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(str(path), TERMS)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["machine"] = "pdp-11"
+        path.write_text(json.dumps(payload))
+        assert load_calibration(str(path)) is None
+
+    @pytest.mark.parametrize(
+        "terms",
+        [
+            {},  # empty
+            {"rho_base": -1e-6},  # negative cost
+            {"rho_base": float("nan")},
+            {"rho_base": float("inf")},
+            {"rho_base": True},  # bool is not a measurement
+            {"rho_base": "fast"},
+            "not a mapping",
+        ],
+    )
+    def test_invalid_terms(self, tmp_path, terms):
+        path = tmp_path / "cal.json"
+        save_calibration(str(path), TERMS)
+        payload = json.loads(path.read_text())
+        payload["terms"] = terms
+        path.write_text(json.dumps(payload))
+        assert load_calibration(str(path)) is None
+
+
+class TestCalibrateCachePath:
+    """calibrate() trusts a valid cache and recalibrates past a bad one."""
+
+    def test_cache_hit_skips_measurement(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cal.json")
+        save_calibration(path, TERMS)
+
+        def boom(spec=None):  # pragma: no cover - must not run
+            raise AssertionError("cache hit should not re-measure")
+
+        monkeypatch.setattr(calibrate_mod, "run_calibration", boom)
+        result = calibrate(cache_path=path)
+        assert result.source == "cache"
+        assert result.terms == TERMS
+
+    def test_corrupt_cache_triggers_recalibration(self, tmp_path, monkeypatch):
+        path = tmp_path / "cal.json"
+        path.write_text("{torn")
+
+        monkeypatch.setattr(
+            calibrate_mod, "run_calibration",
+            lambda spec=None: Calibration(terms=dict(TERMS), source="measured"),
+        )
+        result = calibrate(cache_path=str(path))
+        assert result.source == "measured"
+        # and the rewritten cache is valid again
+        assert load_calibration(str(path))["terms"] == TERMS
+
+    def test_force_bypasses_valid_cache(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "cal.json")
+        save_calibration(path, {"rho_base": 123.0})
+        monkeypatch.setattr(
+            calibrate_mod, "run_calibration",
+            lambda spec=None: Calibration(terms=dict(TERMS), source="measured"),
+        )
+        result = calibrate(cache_path=path, force=True)
+        assert result.source == "measured"
+        assert result.terms == TERMS
