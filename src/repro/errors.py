@@ -160,6 +160,20 @@ class ServiceBatchError(ServiceError):
     """
 
 
+class ExperimentSpecError(ConfigError):
+    """An experiment scenario spec is malformed.
+
+    Raised by :mod:`repro.experiments` when a YAML/dict scenario does
+    not describe a runnable grid: an unknown axis or field, the same
+    knob set twice in one mapping (dotted *and* nested forms),
+    a ``faults.plan`` reference naming no declared fault plan, a table
+    over an axis the grid does not vary, or an unparseable file.  A bad
+    spec must fail before any cell runs — a 40-cell grid that dies on
+    cell 37 because of a typo wastes hours; subclassing
+    :class:`ConfigError` keeps the CLI's one-line typed-error contract.
+    """
+
+
 class IndexCompatError(ConfigError):
     """A search was configured with options a persisted index cannot serve.
 
